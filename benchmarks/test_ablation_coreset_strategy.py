@@ -1,0 +1,38 @@
+"""Extra ablation (DESIGN.md): coreset construction strategy.
+
+The paper's Discussion (§V) claims LbChat works with alternative coreset
+constructions.  This bench swaps Algorithm 1's layered sampling for
+uniform weighted sampling and for the clustering-based construction and
+compares the resulting LbChat convergence — the framework should remain
+functional (similar final loss) with layered sampling at least
+competitive.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments.runner import run_method
+
+STRATEGIES = ("layered", "uniform", "kmeans")
+
+
+def test_coreset_strategy_ablation(benchmark, context, scale):
+    def run():
+        finals = {}
+        for strategy in STRATEGIES:
+            result = run_method(
+                context, "LbChat", wireless=True, seed=1, coreset_strategy=strategy
+            )
+            _, curve = result.loss_curve(9)
+            finals[strategy] = (float(curve[-1]), result.receive_rate)
+        return finals
+
+    finals = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Extra ablation: coreset construction strategy (LbChat, w loss)", "=" * 62]
+    for strategy, (loss, rate) in finals.items():
+        lines.append(f"{strategy:8s}  final loss {loss:6.3f}   receive rate {100 * rate:5.1f}%")
+    emit("ablation_coreset_strategy", "\n".join(lines))
+
+    losses = {s: l for s, (l, _) in finals.items()}
+    # All strategies keep LbChat functional (same league of final loss).
+    assert max(losses.values()) <= min(losses.values()) * 1.6 + 0.2

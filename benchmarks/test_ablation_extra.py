@@ -1,0 +1,29 @@
+"""Extra ablations beyond the paper (DESIGN.md): route prioritization.
+
+Masks the Eq. 5 neighbor ranking (random idle neighbor instead) while
+keeping everything else; under wireless loss the receive rate should
+drop toward the unprioritized baselines' regime.
+"""
+
+from benchmarks.conftest import emit, get_run
+
+
+def test_no_prioritization_receive_rate(benchmark, context, scale):
+    def run():
+        full = get_run(context, "LbChat", wireless=True)
+        masked = get_run(context, "LbChat (no priority)", wireless=True)
+        return full.receive_rate, masked.receive_rate
+
+    full_rate, masked_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_no_prioritization",
+        "\n".join(
+            [
+                "Extra ablation: Eq. 5 route prioritization (w wireless loss)",
+                "=" * 60,
+                f"LbChat (full)          receive rate: {100 * full_rate:5.1f}%",
+                f"LbChat (no priority)   receive rate: {100 * masked_rate:5.1f}%",
+            ]
+        ),
+    )
+    assert full_rate >= masked_rate - 0.1

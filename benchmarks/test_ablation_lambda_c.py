@@ -1,0 +1,49 @@
+"""Extra ablation (DESIGN.md): Eq. 7's time-award coefficient λ_c.
+
+λ_c prices unfinished contact time in the compression objective.  With
+λ_c = 0 vehicles always send as much model as fits (no incentive to end
+uninteresting exchanges early); a very large λ_c suppresses sending
+altogether.  The sweep shows the paper's operating point (small positive
+λ_c) keeps exchanges selective without starving model flow.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.runner import run_method
+
+LAMBDAS = (0.0, 0.02, 0.5)
+
+
+def test_lambda_c_sweep(benchmark, context, scale):
+    def run():
+        out = {}
+        for lam in LAMBDAS:
+            result = run_method(
+                context,
+                "LbChat",
+                wireless=True,
+                seed=1,
+                trainer_overrides={"lambda_c": lam},
+            )
+            _, curve = result.loss_curve(9)
+            chats = result.trainer.counters.get("chats")
+            seconds = result.trainer.counters.get("chat_seconds")
+            out[lam] = (
+                float(curve[-1]),
+                result.receive_rate,
+                seconds / max(chats, 1),
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Extra ablation: Eq. 7 time-award coefficient lambda_c", "=" * 55]
+    for lam, (loss, rate, mean_chat) in out.items():
+        lines.append(
+            f"lambda_c={lam:<5}  final loss {loss:6.3f}   "
+            f"receive rate {100 * rate:5.1f}%   mean chat {mean_chat:5.1f}s"
+        )
+    emit("ablation_lambda_c", "\n".join(lines))
+
+    # A harsh time award shortens chats (less model time bought).
+    assert out[0.5][2] <= out[0.0][2] + 1.0
+    # The default stays functional.
+    assert out[0.02][0] <= out[0.0][0] * 1.5 + 0.2

@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the hot components (true pytest-benchmark timing).
+
+These are throughput benchmarks rather than paper artifacts: coreset
+construction, top-k compression, Eq. 7 optimization, and BEV rendering
+all sit on the simulation's critical path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import compress_topk
+from repro.core.psi import PsiLossMap, optimize_compression
+from repro.coreset import build_coreset
+from repro.sim import BevSpec, TownMap
+from repro.sim.bev import render_bev
+from repro.sim.dataset import DrivingDataset, Frame
+from repro.sim.kinematics import VehicleState
+from repro.sim.router import RoutePlan
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(0)
+    frames = [
+        Frame(
+            f"f{i}",
+            rng.normal(size=(5, 12, 12)).astype(np.float32),
+            int(rng.integers(0, 4)),
+            rng.normal(size=10).astype(np.float32),
+            1.0,
+        )
+        for i in range(500)
+    ]
+    return DrivingDataset(frames)
+
+
+def test_coreset_construction_speed(benchmark, dataset):
+    rng = np.random.default_rng(1)
+    losses = np.abs(np.random.default_rng(2).normal(size=len(dataset))) + 0.01
+    coreset = benchmark(lambda: build_coreset(dataset, losses, 50, rng))
+    assert 30 <= len(coreset) <= 60
+
+
+def test_topk_compression_speed(benchmark):
+    flat = np.random.default_rng(0).normal(size=2_000_000).astype(np.float32)
+    compressed = benchmark(lambda: compress_topk(flat, 0.3, 52 * 1024 * 1024))
+    assert compressed.psi == pytest.approx(0.3, abs=0.01)
+
+
+def test_eq7_optimization_speed(benchmark):
+    map_a = PsiLossMap(np.array([0.05, 0.3, 1.0]), np.array([3.0, 1.6, 1.0]))
+    map_b = PsiLossMap(np.array([0.05, 0.3, 1.0]), np.array([2.5, 1.4, 0.9]))
+    decision = benchmark(
+        lambda: optimize_compression(
+            map_a,
+            map_b,
+            loss_i_on_cj=2.0,
+            loss_j_on_ci=2.2,
+            model_size_bytes=52 * 1024 * 1024,
+            bandwidth_bps=31e6,
+            time_budget=15.0,
+            contact_duration=40.0,
+        )
+    )
+    assert decision.exchange_time <= 15.0 + 1e-9
+
+
+def test_bev_render_speed(benchmark):
+    town = TownMap(size=400.0, grid_n=3, seed=0)
+    a, b = list(town.graph.edges())[0]
+    plan = RoutePlan(np.stack([town.node_position(a), town.node_position(b)]))
+    start = plan.point_at(0.0)
+    state = VehicleState(start[0], start[1], plan.heading_at(0.0), 8.0)
+    rng = np.random.default_rng(0)
+    cars = rng.uniform(0, 400, size=(30, 2))
+    peds = rng.uniform(0, 400, size=(100, 2))
+    bev = benchmark(
+        lambda: render_bev(town, BevSpec(grid=20, cell=2.0), state, plan, cars, peds)
+    )
+    assert bev.shape == (5, 20, 20)

@@ -1,0 +1,47 @@
+"""Table IV: LbChat with 10x and 1/10x the default coreset size (%).
+
+Paper shape: both the oversized and the undersized coreset hurt LbChat
+by several points of success rate — too large crowds out the contact
+window, too small misrepresents the local dataset.
+"""
+
+from benchmarks.conftest import emit, get_eval
+from repro.experiments.tables import CONDITIONS
+from repro.experiments.render import render_table
+
+
+def test_table4(benchmark, context, scale):
+    large = scale.coreset_size * 10
+    small = max(scale.coreset_size // 10, 2)
+    columns = [f"{large} (W/O)", f"{small} (W/O)", f"{large} (W)", f"{small} (W)"]
+
+    def run():
+        values = {cond: {} for cond in CONDITIONS}
+        for column, size, wireless in (
+            (columns[0], large, False),
+            (columns[1], small, False),
+            (columns[2], large, True),
+            (columns[3], small, True),
+        ):
+            rates = get_eval(context, "LbChat", wireless=wireless, coreset_size=size)
+            for cond in CONDITIONS:
+                values[cond][column] = rates[cond]
+        return values
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "table4_coreset_size",
+        render_table(
+            "Table IV: success rate with different coreset sizes (%)",
+            CONDITIONS,
+            columns,
+            values,
+        ),
+    )
+    # Default-size runs (Tables II/III) should be at least competitive
+    # with the mis-sized variants on the hardest condition.
+    default_no_loss = get_eval(context, "LbChat", wireless=False)
+    dense_default = default_no_loss["Navi. (Dense)"]
+    dense_large = values["Navi. (Dense)"][columns[0]]
+    dense_small = values["Navi. (Dense)"][columns[1]]
+    assert dense_default >= min(dense_large, dense_small) - 10.0

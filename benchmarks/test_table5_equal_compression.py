@@ -1,0 +1,37 @@
+"""Table V: LbChat with equal compression ratios (Eq. 7 masked) (%).
+
+Paper shape: fixed equal compression costs several points of success
+rate versus full LbChat — valuable models get over-compressed and
+worthless ones waste contact time.
+"""
+
+from benchmarks.conftest import emit, get_eval
+from repro.experiments.tables import CONDITIONS
+from repro.experiments.render import render_table
+
+COLUMNS = ["W/O wireless loss", "W wireless loss"]
+
+
+def test_table5(benchmark, context, scale):
+    def run():
+        values = {cond: {} for cond in CONDITIONS}
+        for column, wireless in zip(COLUMNS, (False, True)):
+            rates = get_eval(context, "LbChat (equal comp.)", wireless=wireless)
+            for cond in CONDITIONS:
+                values[cond][column] = rates[cond]
+        return values
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "table5_equal_compression",
+        render_table(
+            "Table V: success rate with equal comp. ratio (%)",
+            CONDITIONS,
+            COLUMNS,
+            values,
+        ),
+    )
+    # Full LbChat should not lose to its own crippled variant on the
+    # hardest condition (small slack for evaluation noise).
+    full = get_eval(context, "LbChat", wireless=True)
+    assert full["Navi. (Dense)"] >= values["Navi. (Dense)"][COLUMNS[1]] - 10.0

@@ -1,0 +1,34 @@
+"""Table VI: LbChat with plain model averaging (Eq. 8 masked) (%).
+
+Paper shape: averaging instead of coreset-weighted aggregation costs up
+to ~4 points — poorly performing models drag the merged model down.
+"""
+
+from benchmarks.conftest import emit, get_eval
+from repro.experiments.tables import CONDITIONS
+from repro.experiments.render import render_table
+
+COLUMNS = ["W/O wireless loss", "W wireless loss"]
+
+
+def test_table6(benchmark, context, scale):
+    def run():
+        values = {cond: {} for cond in CONDITIONS}
+        for column, wireless in zip(COLUMNS, (False, True)):
+            rates = get_eval(context, "LbChat (avg. agg.)", wireless=wireless)
+            for cond in CONDITIONS:
+                values[cond][column] = rates[cond]
+        return values
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "table6_avg_aggregation",
+        render_table(
+            "Table VI: success rate with avg. aggregation (%)",
+            CONDITIONS,
+            COLUMNS,
+            values,
+        ),
+    )
+    full = get_eval(context, "LbChat", wireless=True)
+    assert full["Navi. (Dense)"] >= values["Navi. (Dense)"][COLUMNS[1]] - 10.0

@@ -1,0 +1,36 @@
+"""Table VII: sharing coresets only — the SCO study (%).
+
+Paper shape: SCO's final driving quality trails full LbChat by only a
+point or two (the enriched datasets carry most of the information),
+with the real difference showing up in convergence speed (Fig. 3).
+"""
+
+from benchmarks.conftest import emit, get_eval
+from repro.experiments.tables import CONDITIONS
+from repro.experiments.render import render_table
+
+COLUMNS = ["W/O wireless loss", "W wireless loss"]
+
+
+def test_table7(benchmark, context, scale):
+    def run():
+        values = {cond: {} for cond in CONDITIONS}
+        for column, wireless in zip(COLUMNS, (False, True)):
+            rates = get_eval(context, "SCO", wireless=wireless)
+            for cond in CONDITIONS:
+                values[cond][column] = rates[cond]
+        return values
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "table7_sco",
+        render_table(
+            "Table VII: success rate with sharing coreset only (%)",
+            CONDITIONS,
+            COLUMNS,
+            values,
+        ),
+    )
+    # SCO should remain in the same quality league as full LbChat.
+    full = get_eval(context, "LbChat", wireless=False)
+    assert values["Navi. (Dense)"][COLUMNS[0]] >= full["Navi. (Dense)"] - 25.0

@@ -1,0 +1,83 @@
+"""Paper-scale (§IV-A) experiment driver.
+
+Runs the headline comparison at the paper's world parameters —
+32 vehicles, 1 km x 1 km town+rural map, 50 background cars, 250
+pedestrians, 150-frame coresets, 31 Mbps / 500 m radios — and writes
+loss curves, receive rates, and (optionally) driving success rates to
+``paper_scale_out/``.
+
+This takes a few hours on one CPU core; it is a script rather than a
+benchmark so it can be resumed per method and left running unattended:
+
+    python scripts/run_paper_scale.py --methods ProxSkip LbChat DP
+    python scripts/run_paper_scale.py --methods SCO --eval
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.configs import PAPER
+from repro.experiments.io import cached_context, save_run
+from repro.experiments.render import render_curves
+from repro.experiments.runner import online_evaluate, run_method
+
+OUT_DIR = Path("paper_scale_out")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--methods",
+        nargs="+",
+        default=["ProxSkip", "RSU-L", "DFL-DDS", "DP", "LbChat", "SCO"],
+    )
+    parser.add_argument("--wireless", action=argparse.BooleanOptionalAction, default=True)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--eval", action="store_true", help="also run driving evaluation")
+    args = parser.parse_args()
+
+    OUT_DIR.mkdir(exist_ok=True)
+    print("Building/loading the paper-scale context (cached on disk)...")
+    t0 = time.time()
+    context = cached_context(PAPER)
+    print(f"  ready in {time.time() - t0:.0f}s: "
+          f"{len(context.datasets)} vehicles, "
+          f"{sum(len(d) for d in context.datasets.values())} frames, "
+          f"{context.traces.duration:.0f}s of traces")
+
+    curves = {}
+    grid = np.linspace(0.0, PAPER.train_duration, 21)
+    for method in args.methods:
+        t1 = time.time()
+        print(f"Running {method} (wireless={args.wireless})...")
+        result = run_method(context, method, wireless=args.wireless, seed=args.seed)
+        _, curves[method] = result.loss_curve(21)
+        slug = method.lower().replace(" ", "_").replace("(", "").replace(")", "").replace(".", "")
+        save_run(result, OUT_DIR / f"run_{slug}.json")
+        print(f"  done in {(time.time() - t1) / 60:.1f} min; "
+              f"final loss {curves[method][-1]:.3f}, "
+              f"receive rate {100 * result.receive_rate:.1f}%")
+        if args.eval:
+            rates = online_evaluate(result, context, seed=args.seed)
+            (OUT_DIR / f"success_{slug}.txt").write_text(
+                "\n".join(f"{k}: {v:.1f}%" for k, v in rates.items()) + "\n"
+            )
+            print("  success rates:", {k: round(v) for k, v in rates.items()})
+
+    label = "w" if args.wireless else "w/o"
+    figure = render_curves(
+        f"Paper scale: training loss vs time ({label} wireless loss)", grid, curves
+    )
+    (OUT_DIR / "loss_curves.txt").write_text(figure + "\n")
+    print()
+    print(figure)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

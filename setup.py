@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; when wheel is
+unavailable offline, `python setup.py develop` installs the same editable
+.pth-based layout.
+"""
+from setuptools import setup
+
+setup()

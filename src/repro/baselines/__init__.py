@@ -1,0 +1,44 @@
+"""Benchmark methods the paper compares against (§IV-B).
+
+* :class:`~repro.baselines.proxskip.ProxSkipTrainer` — central-server
+  federated learning with probabilistic synchronization (idealized: no
+  backend bandwidth constraint).
+* :class:`~repro.baselines.rsul.RsuLTrainer` — road-side units at
+  intersections act as local aggregation points.
+* :class:`~repro.baselines.dfl_dds.DflDdsTrainer` — synchronous fully
+  decentralized rounds with data-source-diversity aggregation weights.
+* :class:`~repro.baselines.dp.DpTrainer` — asynchronous gossip with
+  log-loss merge weights.
+* :class:`~repro.baselines.sco.ScoTrainer` — coreset-sharing only
+  (§IV-G study).
+* :mod:`~repro.baselines.ablations` — LbChat with Eq. 7 / Eq. 8 /
+  prioritization masked (§IV-F and extras).
+"""
+
+from repro.baselines.local_only import LocalOnlyTrainer
+from repro.baselines.proxskip import ProxSkipConfig, ProxSkipTrainer
+from repro.baselines.rsul import RsuLConfig, RsuLTrainer
+from repro.baselines.dfl_dds import DflDdsConfig, DflDdsTrainer
+from repro.baselines.dp import DpConfig, DpTrainer
+from repro.baselines.sco import ScoTrainer
+from repro.baselines.ablations import (
+    equal_compression_trainer,
+    mean_aggregation_trainer,
+    no_prioritization_trainer,
+)
+
+__all__ = [
+    "LocalOnlyTrainer",
+    "ProxSkipConfig",
+    "ProxSkipTrainer",
+    "RsuLConfig",
+    "RsuLTrainer",
+    "DflDdsConfig",
+    "DflDdsTrainer",
+    "DpConfig",
+    "DpTrainer",
+    "ScoTrainer",
+    "equal_compression_trainer",
+    "mean_aggregation_trainer",
+    "no_prioritization_trainer",
+]

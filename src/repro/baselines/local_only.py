@@ -1,0 +1,26 @@
+"""Local-only training — the no-collaboration floor.
+
+Not a paper baseline, but the reference every collaborative method
+implicitly claims to beat: each vehicle trains on its own local dataset
+and never communicates.  Including it makes the collaboration gain of
+every other method directly measurable.
+"""
+
+from __future__ import annotations
+
+from repro.core.trainer_base import TrainerBase, TrainerConfig
+
+__all__ = ["LocalOnlyTrainer"]
+
+
+class LocalOnlyTrainer(TrainerBase):
+    """Pure local training; every scan is a no-op."""
+
+    name = "Local"
+
+    def __init__(self, nodes, traces, validation, config: TrainerConfig | None = None):
+        super().__init__(nodes, traces, validation, config or TrainerConfig())
+
+    def on_scan(self, i: int) -> None:
+        """No-op: local-only vehicles never communicate."""
+        return

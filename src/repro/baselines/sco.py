@@ -1,0 +1,33 @@
+"""SCO — Share Coresets Only (§IV-G).
+
+Identical to LbChat's encounter machinery (route-prioritized chats,
+coreset exchange, dataset expansion) but vehicles never exchange or
+merge models; all learning happens through local training on the
+coreset-enriched dataset.  The paper finds SCO eventually reaches
+almost the same driving quality but takes 1.5-1.8x longer to converge.
+"""
+
+from __future__ import annotations
+
+from repro.core.lbchat import LbChatConfig, LbChatTrainer
+from repro.sim.dataset import DrivingDataset
+from repro.sim.traces import MobilityTraces
+
+__all__ = ["ScoTrainer"]
+
+
+class ScoTrainer(LbChatTrainer):
+    """LbChat with model exchange disabled."""
+
+    name = "SCO"
+
+    def __init__(
+        self,
+        nodes,
+        traces: MobilityTraces,
+        validation: DrivingDataset,
+        config: LbChatConfig | None = None,
+    ):
+        config = config or LbChatConfig()
+        config.coreset_only = True
+        super().__init__(nodes, traces, validation, config)

@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+Examples
+--------
+::
+
+    python -m repro scales
+    python -m repro run --method LbChat --scale ci --wireless
+    python -m repro run --method SCO --out sco.json --save-model sco.npz
+    python -m repro table 3 --scale ci
+    python -m repro fig 2b
+    python -m repro rates
+    python -m repro eval --model sco.npz --trials 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.configs import get_scale
+from repro.experiments.render import render_curves
+
+
+def _add_scale_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", default="ci", choices=("ci", "paper"), help="experiment scale preset"
+    )
+
+
+def _cmd_scales(args: argparse.Namespace) -> int:
+    for name in ("ci", "paper"):
+        scale = get_scale(name)
+        world = scale.world
+        print(
+            f"{name:6s} map {world.map_size:.0f}m  vehicles {world.n_vehicles}  "
+            f"traffic {world.n_background_cars}c/{world.n_pedestrians}p  "
+            f"coreset {scale.coreset_size}  T {scale.train_duration:.0f}s"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.io import cached_context, save_run
+    from repro.experiments.runner import run_method
+
+    scale = get_scale(args.scale)
+    context = cached_context(scale) if args.cache else _fresh_context(scale)
+    print(f"Training {args.method} (scale={args.scale}, wireless={args.wireless})...")
+    result = run_method(
+        context,
+        args.method,
+        wireless=args.wireless,
+        seed=args.seed,
+        coreset_size=args.coreset_size,
+    )
+    grid, curve = result.loss_curve(11)
+    print(render_curves(f"{args.method}: fleet validation loss", grid, {args.method: curve}))
+    print(f"receive rate: {100 * result.receive_rate:.1f}%")
+    if args.out:
+        save_run(result, args.out)
+        print(f"run archived to {args.out}")
+    if args.save_model:
+        from repro.nn.serialize import save_model
+
+        save_model(result.nodes[0].model, args.save_model)
+        print(f"model checkpoint written to {args.save_model}")
+    return 0
+
+
+def _fresh_context(scale):
+    from repro.experiments.runner import build_context
+
+    return build_context(scale)
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import tables
+
+    fn = {
+        "2": tables.table2,
+        "3": tables.table3,
+        "4": tables.table4,
+        "5": tables.table5,
+        "6": tables.table6,
+        "7": tables.table7,
+    }[args.number]
+    print(f"Reproducing Table {args.number} at scale {args.scale} "
+          "(trains every required method; this takes a while)...")
+    result = fn(args.scale, seed=args.seed)
+    print(result.render())
+    if result.receive_rates:
+        print("\nreceive rates: " + ", ".join(
+            f"{k}={100 * v:.0f}%" for k, v in result.receive_rates.items()
+        ))
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    if args.which in ("2a", "2b"):
+        result = figures.fig2(args.scale, wireless=args.which == "2b", seed=args.seed)
+    else:
+        result = figures.fig3(args.scale, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_rates(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import receive_rates
+
+    rates = receive_rates(args.scale, seed=args.seed)
+    print("Successful model receiving rate (w wireless loss)")
+    for method, rate in rates.items():
+        print(f"  {method:10s} {100 * rate:5.1f}%")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments.io import cached_context
+    from repro.nn.serialize import load_model
+    from repro.sim.comfort import comfort_score, compute_comfort
+    from repro.sim.evaluate import DrivingCondition, EvalConfig, route_for_condition, run_episode
+    from repro.sim.scenarios import SCENARIOS
+    from repro.engine.random import spawn_rng
+
+    scale = get_scale(args.scale)
+    context = cached_context(scale)
+    model = load_model(args.model)
+    print(f"{'scenario':22s} {'outcome':10s} {'min gap':>8s}")
+    for name, scenario in SCENARIOS.items():
+        result = scenario(context.town, model, scale.bev)
+        gap = "-" if result.min_gap == float("inf") else f"{result.min_gap:.1f}m"
+        print(f"{name:22s} {result.reason:10s} {gap:>8s}")
+    if args.comfort:
+        config = EvalConfig(
+            bev_spec=scale.bev,
+            n_waypoints=scale.n_waypoints,
+            normal_cars=0,
+            normal_pedestrians=0,
+        )
+        plan = route_for_condition(
+            context.town, DrivingCondition.NAVI_EMPTY, spawn_rng(args.seed, "cmf"), config
+        )
+        episode = run_episode(
+            model, context.town, plan, DrivingCondition.NAVI_EMPTY, config,
+            seed=args.seed, record_trajectory=True,
+        )
+        if episode.trajectory is not None and len(episode.trajectory) >= 3:
+            metrics = compute_comfort(episode.trajectory, config.dt)
+            print(f"\ncomfort on an empty navigation route ({episode.reason}):")
+            print(f"  max accel {metrics.max_acceleration:.2f} m/s², "
+                  f"max brake {metrics.max_deceleration:.2f} m/s²")
+            print(f"  jerk RMS {metrics.jerk_rms:.2f} m/s³, "
+                  f"max lateral {metrics.max_lateral_acceleration:.2f} m/s²")
+            print(f"  comfort score: {comfort_score(metrics):.0f}/100")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import build_report
+
+    report = build_report(args.artifacts)
+    if args.out:
+        Path(args.out).write_text(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.nn.serialize import load_model
+    from repro.experiments.io import cached_context
+    from repro.sim.evaluate import DrivingCondition, EvalConfig, success_rate
+
+    scale = get_scale(args.scale)
+    context = cached_context(scale)
+    model = load_model(args.model)
+    config = EvalConfig(
+        bev_spec=scale.bev,
+        n_waypoints=scale.n_waypoints,
+        normal_cars=scale.eval_normal_cars,
+        normal_pedestrians=scale.eval_normal_pedestrians,
+    )
+    print(f"{'condition':16s} {'success':>8s}")
+    for condition in DrivingCondition:
+        rate = success_rate(
+            model, context.town, condition, args.trials, config, seed=args.seed
+        )
+        print(f"{condition.value:16s} {100 * rate:7.0f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LbChat reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("scales", help="list scale presets")
+    p.set_defaults(fn=_cmd_scales)
+
+    p = sub.add_parser("run", help="train one method")
+    p.add_argument("--method", default="LbChat")
+    _add_scale_arg(p)
+    p.add_argument("--wireless", action=argparse.BooleanOptionalAction, default=True)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--coreset-size", type=int, default=None)
+    p.add_argument("--out", default=None, help="archive run results to JSON")
+    p.add_argument("--save-model", default=None, help="write a model checkpoint (.npz)")
+    p.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="use the on-disk context cache",
+    )
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("table", help="reproduce a paper table")
+    p.add_argument("number", choices=("2", "3", "4", "5", "6", "7"))
+    _add_scale_arg(p)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=_cmd_table)
+
+    p = sub.add_parser("fig", help="reproduce a paper figure")
+    p.add_argument("which", choices=("2a", "2b", "3"))
+    _add_scale_arg(p)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=_cmd_fig)
+
+    p = sub.add_parser("rates", help="§IV-C receive-rate comparison")
+    _add_scale_arg(p)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=_cmd_rates)
+
+    p = sub.add_parser("scenario", help="run stress scenarios on a checkpoint")
+    p.add_argument("--model", required=True)
+    _add_scale_arg(p)
+    p.add_argument("--comfort", action="store_true", help="also report comfort metrics")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_scenario)
+
+    p = sub.add_parser("report", help="assemble the reproduction report")
+    p.add_argument("--artifacts", default="benchmarks/out")
+    p.add_argument("--out", default=None, help="write the report to a file")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("eval", help="online-evaluate a model checkpoint")
+    p.add_argument("--model", required=True)
+    _add_scale_arg(p)
+    p.add_argument("--trials", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_eval)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

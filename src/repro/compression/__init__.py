@@ -1,0 +1,26 @@
+"""Model compression for constrained V2V exchange.
+
+The paper uses top-k sparsification (Albasyoni et al.) with index–value
+pair encoding; uniform quantization is provided as the alternative the
+paper mentions can be dropped in.
+
+The central quantity is :math:`\\psi = 1/\\varphi = S_c / S`: the size
+of the compressed model relative to the original.  ``psi = 0`` means
+"send nothing", ``psi = 1`` means "send uncompressed".
+"""
+
+from repro.compression.topk import (
+    CompressedModel,
+    compress_topk,
+    decompress,
+    topk_for_psi,
+)
+from repro.compression.quantize import compress_quantize
+
+__all__ = [
+    "CompressedModel",
+    "compress_topk",
+    "compress_quantize",
+    "decompress",
+    "topk_for_psi",
+]

@@ -1,0 +1,42 @@
+"""Uniform quantization — the alternative compressor the paper notes.
+
+Quantizing float32 parameters to ``bits`` bits gives relative size
+``bits / 32`` (ignoring the two float32 range scalars, which are
+negligible at model scale).  Returned as a dense
+:class:`~repro.compression.topk.CompressedModel` whose values have been
+quantize-dequantized, so downstream code is agnostic to the compressor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.topk import CompressedModel
+
+__all__ = ["compress_quantize"]
+
+
+def compress_quantize(flat: np.ndarray, bits: int, nominal_size_bytes: int) -> CompressedModel:
+    """Uniformly quantize ``flat`` to ``bits`` bits per parameter."""
+    if not 1 <= bits <= 32:
+        raise ValueError(f"bits must lie in [1, 32]: {bits}")
+    flat = np.asarray(flat, dtype=np.float32)
+    n = flat.size
+    psi = bits / 32.0
+    if bits == 32 or n == 0:
+        values = flat.copy()
+    else:
+        lo, hi = float(flat.min()), float(flat.max())
+        if hi == lo:
+            values = flat.copy()
+        else:
+            levels = (1 << bits) - 1
+            scaled = np.round((flat - lo) / (hi - lo) * levels)
+            values = (scaled / levels * (hi - lo) + lo).astype(np.float32)
+    return CompressedModel(
+        indices=np.arange(n, dtype=np.int64),
+        values=values,
+        n_total=n,
+        psi=psi,
+        nominal_bytes=int(round(psi * nominal_size_bytes)),
+    )

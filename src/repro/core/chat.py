@@ -1,0 +1,230 @@
+"""The pairwise "chat" protocol (Algorithm 2, lines 8-16).
+
+One chat between vehicles i and j, simulated with real transfer timing:
+
+1. assistive info (route, bandwidth — 184 bytes each, §III-A),
+2. coreset exchange (C_i then C_j over the shared half-duplex channel),
+3. cross-evaluations + psi-map fitting, results exchanged (small),
+4. Eq. 7 joint compression optimization,
+5. compressed model exchange (x_i then x_j), each direction aggregated
+   on arrival via Eq. 8 on the joint coreset C_i ∪ C_j,
+6. both sides absorb the peer's coreset into their local dataset.
+
+A chat can be cut short at any stage by the vehicles moving out of
+range; whatever already arrived is still used (a received coreset is
+absorbed even if the model transfer after it died).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.node import VehicleNode
+from repro.core.psi import PsiDecision, optimize_compression
+from repro.core.value import assess_value
+from repro.net.channel import ChannelConfig, simulate_transfer
+from repro.net.wireless import WirelessModel
+from repro.sim.dataset import DrivingDataset
+
+__all__ = ["ChatOutcome", "pairwise_chat"]
+
+#: Fixed overhead for computing/exchanging evaluation results and maps.
+_RESULTS_EXCHANGE_SECONDS = 0.1
+
+
+@dataclass
+class ChatOutcome:
+    """What one chat produced and how long it took."""
+
+    duration: float
+    coresets_exchanged: bool = False
+    i_attempted: bool = False
+    j_attempted: bool = False
+    i_received_model: bool = False
+    j_received_model: bool = False
+    psi: PsiDecision | None = None
+    absorbed_by_i: int = 0
+    absorbed_by_j: int = 0
+    aborted: str = ""  # stage at which contact was lost, if any
+
+
+def pairwise_chat(
+    node_i: VehicleNode,
+    node_j: VehicleNode,
+    distance_fn: Callable[[float], float],
+    start_time: float,
+    contact_deadline: float,
+    wireless: WirelessModel,
+    channel: ChannelConfig,
+    time_budget: float,
+    lambda_c: float = 0.02,
+    refresh_coresets: bool = True,
+    equal_compression: bool = False,
+    mean_aggregation: bool = False,
+    coreset_only: bool = False,
+    expected_goodput: float = 1.0,
+) -> ChatOutcome:
+    """Run one full chat; mutates both nodes on success.
+
+    ``contact_deadline`` is the absolute time the estimator predicts the
+    pair drops out of range (transfers are additionally cut by actual
+    distance via ``distance_fn``).  ``time_budget`` is T_B.
+
+    The three flags implement the paper's ablations: ``equal_compression``
+    replaces Eq. 7 with a fixed ratio that evenly fills the contact
+    window (§IV-F); ``mean_aggregation`` replaces Eq. 8 with plain
+    averaging (§IV-F); ``coreset_only`` skips model exchange entirely —
+    the SCO variant of §IV-G.
+    """
+    outcome = ChatOutcome(duration=0.0)
+    now = start_time
+    # Planning (Eq. 7) uses the loss-discounted effective bandwidth the
+    # §III-A estimator predicts; actual transfers below are simulated
+    # against the real channel.
+    bandwidth = min(node_i.config.bandwidth_bps, node_j.config.bandwidth_bps)
+    planning_bandwidth = bandwidth * max(min(expected_goodput, 1.0), 1e-3)
+
+    def shared_channel(n_bytes: float, deadline: float):
+        return simulate_transfer(
+            n_bytes, distance_fn, wireless, channel, now, deadline
+        )
+
+    # 1. assistive info both ways.
+    assist = shared_channel(2 * channel.assist_info_bytes, contact_deadline)
+    now += assist.elapsed
+    if not assist.completed:
+        outcome.duration = now - start_time
+        outcome.aborted = "assist"
+        return outcome
+
+    # 2. coresets (rebuild first so they reflect the current model/data).
+    if refresh_coresets:
+        node_i.maybe_refresh_coreset()
+        node_j.maybe_refresh_coreset()
+    coreset_bytes = node_i.coreset.nominal_bytes + node_j.coreset.nominal_bytes
+    transfer = shared_channel(coreset_bytes, contact_deadline)
+    now += transfer.elapsed
+    if not transfer.completed:
+        outcome.duration = now - start_time
+        outcome.aborted = "coresets"
+        return outcome
+    outcome.coresets_exchanged = True
+
+    if coreset_only:
+        # SCO (§IV-G): data sharing only; no model value assessment or
+        # model exchange at all.
+        _absorb_both(node_i, node_j, outcome)
+        outcome.duration = now - start_time
+        return outcome
+
+    # 3. cross-evaluations and psi maps (compute treated as free, §IV-A).
+    value = assess_value(
+        loss_i_on_ci=node_i.evaluate(node_i.coreset.data),
+        loss_i_on_cj=node_i.evaluate(node_j.coreset.data),
+        loss_j_on_cj=node_j.evaluate(node_j.coreset.data),
+        loss_j_on_ci=node_j.evaluate(node_i.coreset.data),
+    )
+    map_i = node_i.build_psi_map()
+    map_j = node_j.build_psi_map()
+    results = shared_channel(2 * 256, contact_deadline)  # tiny payloads
+    now += results.elapsed + _RESULTS_EXCHANGE_SECONDS
+    if not results.completed:
+        outcome.duration = now - start_time
+        outcome.aborted = "results"
+        # Coresets still got through: absorb them before bailing.
+        _absorb_both(node_i, node_j, outcome)
+        return outcome
+
+    # 4. Eq. 7: optimize both compression ratios jointly.
+    remaining_contact = max(contact_deadline - now, 0.0)
+    if equal_compression:
+        decision = equal_compression_decision(
+            node_i.config.nominal_model_bytes,
+            planning_bandwidth,
+            time_budget,
+            remaining_contact,
+        )
+    else:
+        decision = optimize_compression(
+            map_i,
+            map_j,
+            loss_i_on_cj=value.loss_i_on_cj,
+            loss_j_on_ci=value.loss_j_on_ci,
+            model_size_bytes=node_i.config.nominal_model_bytes,
+            bandwidth_bps=planning_bandwidth,
+            time_budget=time_budget,
+            contact_duration=remaining_contact,
+            lambda_c=lambda_c,
+        )
+    outcome.psi = decision
+
+    # 5. model exchange: x_i to j, then x_j to i, on the shared channel.
+    joint = DrivingDataset(node_i.coreset.data.frames())
+    joint.extend(node_j.coreset.data.frames())
+    model_deadline = min(contact_deadline, now + time_budget)
+    if decision.psi_i > 0:
+        outcome.j_attempted = True
+        compressed_i = node_i.compress_model(decision.psi_i)
+        sent = shared_channel(compressed_i.nominal_bytes, model_deadline)
+        now += sent.elapsed
+        if sent.completed:
+            node_j.receive_and_aggregate(
+                compressed_i, joint, mean_weights=mean_aggregation
+            )
+            outcome.j_received_model = True
+    if decision.psi_j > 0:
+        outcome.i_attempted = True
+        compressed_j = node_j.compress_model(decision.psi_j)
+        sent = shared_channel(compressed_j.nominal_bytes, model_deadline)
+        now += sent.elapsed
+        if sent.completed:
+            node_i.receive_and_aggregate(
+                compressed_j, joint, mean_weights=mean_aggregation
+            )
+            outcome.i_received_model = True
+
+    # 6. absorb peer coresets, expanding local datasets.
+    _absorb_both(node_i, node_j, outcome)
+    outcome.duration = now - start_time
+    return outcome
+
+
+def _absorb_both(node_i: VehicleNode, node_j: VehicleNode, outcome: ChatOutcome) -> None:
+    # Capture both coresets first: absorption merge-reduces the owner's
+    # coreset in place, and each side must absorb what was actually sent.
+    coreset_i, coreset_j = node_i.coreset, node_j.coreset
+    outcome.absorbed_by_i = node_i.absorb_coreset(coreset_j)
+    outcome.absorbed_by_j = node_j.absorb_coreset(coreset_i)
+
+
+def equal_compression_decision(
+    model_size_bytes: float,
+    bandwidth_bps: float,
+    time_budget: float,
+    contact_duration: float,
+) -> PsiDecision:
+    """§IV-F ablation: both sides get the same fixed compression.
+
+    The ratio is chosen so the two transfers exactly fill the available
+    window — the straightforward rule the paper masks Eq. 7 with.
+    """
+    window = min(time_budget, contact_duration)
+    bytes_per_second = bandwidth_bps / 8.0
+    psi = min(window * bytes_per_second / (2.0 * model_size_bytes), 1.0)
+    t_c = model_size_bytes * 2.0 * psi / bytes_per_second
+    return PsiDecision(psi_i=float(psi), psi_j=float(psi), objective=0.0, exchange_time=t_c)
+
+
+def estimated_chat_bytes(node_i: VehicleNode, node_j: VehicleNode, psi_total: float = 1.0) -> float:
+    """Bytes a chat is expected to move, for the Eq. 5 estimator.
+
+    Coresets both ways plus models at an anticipated combined relative
+    size ``psi_total`` (callers typically assume a moderately compressed
+    exchange when ranking neighbors).
+    """
+    return (
+        node_i.coreset.nominal_bytes
+        + node_j.coreset.nominal_bytes
+        + psi_total * node_i.config.nominal_model_bytes
+    )

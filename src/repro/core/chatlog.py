@@ -1,0 +1,111 @@
+"""Structured per-chat logging for post-hoc analysis.
+
+The trainer's counters aggregate; the chat log keeps each exchange as a
+record — who chatted, when, the Eq. 7 decision, what succeeded — so
+analyses like "how often was only one direction worth sending?" or
+"what ψ did Eq. 7 pick against contact length?" are one list
+comprehension away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.chat import ChatOutcome
+
+__all__ = ["ChatRecord", "ChatLog"]
+
+
+@dataclass(frozen=True)
+class ChatRecord:
+    """One pairwise chat, flattened for analysis."""
+
+    time: float
+    initiator: str
+    partner: str
+    duration: float
+    coresets_exchanged: bool
+    psi_i: float
+    psi_j: float
+    i_received: bool
+    j_received: bool
+    absorbed: int
+    aborted: str
+
+    @classmethod
+    def from_outcome(
+        cls, time: float, initiator: str, partner: str, outcome: ChatOutcome
+    ) -> "ChatRecord":
+        """Flatten a ChatOutcome into a record."""
+        psi_i = outcome.psi.psi_i if outcome.psi else 0.0
+        psi_j = outcome.psi.psi_j if outcome.psi else 0.0
+        return cls(
+            time=time,
+            initiator=initiator,
+            partner=partner,
+            duration=outcome.duration,
+            coresets_exchanged=outcome.coresets_exchanged,
+            psi_i=psi_i,
+            psi_j=psi_j,
+            i_received=outcome.i_received_model,
+            j_received=outcome.j_received_model,
+            absorbed=outcome.absorbed_by_i + outcome.absorbed_by_j,
+            aborted=outcome.aborted,
+        )
+
+
+@dataclass
+class ChatLog:
+    """Append-only list of chat records with summary queries."""
+
+    records: list[ChatRecord] = field(default_factory=list)
+
+    def append(self, record: ChatRecord) -> None:
+        """Add one record to the log."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- summaries ------------------------------------------------------------
+
+    def mean_psi(self) -> float:
+        """Average relative model size sent per direction, over all chats."""
+        if not self.records:
+            return 0.0
+        values = [r.psi_i for r in self.records] + [r.psi_j for r in self.records]
+        return float(np.mean(values))
+
+    def one_sided_fraction(self) -> float:
+        """Fraction of completed chats where only one side sent a model.
+
+        Direct evidence of Eq. 7's asymmetric allocation: the valuable
+        model gets the contact, the worthless one stays home.
+        """
+        completed = [r for r in self.records if r.coresets_exchanged and not r.aborted]
+        if not completed:
+            return 0.0
+        one_sided = [
+            r
+            for r in completed
+            if (r.psi_i > 0.01) != (r.psi_j > 0.01)
+        ]
+        return len(one_sided) / len(completed)
+
+    def abort_counts(self) -> dict[str, int]:
+        """How many chats died at each protocol stage."""
+        out: dict[str, int] = {}
+        for record in self.records:
+            if record.aborted:
+                out[record.aborted] = out.get(record.aborted, 0) + 1
+        return out
+
+    def per_vehicle_chats(self) -> dict[str, int]:
+        """Chat participation count per vehicle."""
+        out: dict[str, int] = {}
+        for record in self.records:
+            for vehicle in (record.initiator, record.partner):
+                out[vehicle] = out.get(vehicle, 0) + 1
+        return out

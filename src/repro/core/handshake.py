@@ -1,0 +1,156 @@
+"""Asynchronous pairwise exchange agreement (§III-A).
+
+Vehicles determine their exchange sequences independently, so proposal
+cycles can arise: A proposes to B while B proposes to C and C proposes
+to A — a distributed deadlock the paper notes "can be addressed by
+setting a maximum waiting time or utilizing other existing approaches".
+
+:class:`HandshakeMediator` models that agreement protocol explicitly on
+the discrete-event engine:
+
+* a vehicle *proposes* to one peer and blocks awaiting a response;
+* an idle peer accepts immediately; a busy or otherwise-engaged peer
+  rejects;
+* **mutual proposals** (A<->B simultaneously) are detected and resolved
+  as an acceptance (lower id counts as the acceptor);
+* a proposal that hears nothing within ``max_wait`` times out, breaking
+  any proposal cycle.
+
+The main :class:`~repro.core.lbchat.LbChatTrainer` arranges chats
+atomically (equivalent to this mediator with zero signalling latency);
+this module exists to demonstrate — and regression-test — that the
+protocol is livelock-free under the paper's maximum-waiting-time rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.engine import Event, Simulator
+
+__all__ = ["PeerState", "ProposalOutcome", "HandshakeMediator"]
+
+
+class PeerState(Enum):
+    """Coarse state of a vehicle in the handshake protocol."""
+    IDLE = "idle"
+    PROPOSING = "proposing"
+    CHATTING = "chatting"
+
+
+class ProposalOutcome(Enum):
+    """Terminal result of one chat proposal."""
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+    TIMED_OUT = "timed_out"
+
+
+@dataclass
+class _Proposal:
+    proposer: int
+    target: int
+    event: Event
+    resolved: bool = False
+
+
+@dataclass
+class HandshakeMediator:
+    """Arbitrates chat proposals between vehicles.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator.
+    max_wait:
+        Maximum time a proposer waits for an answer before giving up —
+        the paper's deadlock-breaking rule.
+    signal_delay:
+        One-way latency of a proposal/answer message (assistive-info
+        sized, so near-zero; kept explicit for realism).
+    """
+
+    sim: Simulator
+    max_wait: float = 2.0
+    signal_delay: float = 0.05
+    _states: dict[int, PeerState] = field(default_factory=dict)
+    _outgoing: dict[int, _Proposal] = field(default_factory=dict)
+
+    def state(self, vehicle: int) -> PeerState:
+        """Current protocol state of a vehicle."""
+        return self._states.get(vehicle, PeerState.IDLE)
+
+    # -- chat lifecycle -------------------------------------------------------
+
+    def begin_chat(self, a: int, b: int) -> None:
+        """Mark both vehicles as chatting (after an accepted proposal)."""
+        self._states[a] = PeerState.CHATTING
+        self._states[b] = PeerState.CHATTING
+
+    def end_chat(self, a: int, b: int) -> None:
+        """Mark both chat participants idle again."""
+        self._states[a] = PeerState.IDLE
+        self._states[b] = PeerState.IDLE
+
+    # -- proposals -------------------------------------------------------
+
+    def propose(self, proposer: int, target: int):
+        """Propose a chat; yields from a process, returns the outcome.
+
+        Usage inside a process::
+
+            outcome = yield from mediator.propose(i, j)
+            if outcome is ProposalOutcome.ACCEPTED:
+                ...  # run the chat, then mediator.end_chat(i, j)
+        """
+        if proposer == target:
+            raise ValueError("cannot propose to oneself")
+        if self.state(proposer) is not PeerState.IDLE:
+            raise RuntimeError(f"vehicle {proposer} is not idle")
+        proposal = _Proposal(proposer, target, self.sim.event())
+        self._states[proposer] = PeerState.PROPOSING
+        self._outgoing[proposer] = proposal
+        # The proposal message arrives after the signalling delay.
+        self.sim.call_at(self.sim.now + self.signal_delay, lambda: self._deliver(proposal))
+        # Give up after max_wait.
+        self.sim.call_at(self.sim.now + self.max_wait, lambda: self._expire(proposal))
+        outcome = yield proposal.event
+        return outcome
+
+    def _deliver(self, proposal: _Proposal) -> None:
+        if proposal.resolved:
+            return
+        target_state = self.state(proposal.target)
+        if target_state is PeerState.IDLE:
+            self._accept(proposal)
+        elif target_state is PeerState.PROPOSING:
+            counter = self._outgoing.get(proposal.target)
+            if counter is not None and counter.target == proposal.proposer:
+                # Mutual proposal: resolve both as one acceptance.
+                self._resolve(counter, ProposalOutcome.ACCEPTED, chat=False)
+                self._accept(proposal)
+            else:
+                # Target is courting someone else: reject so the
+                # proposer can move on (no waiting chains).
+                self._resolve(proposal, ProposalOutcome.REJECTED)
+        else:  # CHATTING
+            self._resolve(proposal, ProposalOutcome.REJECTED)
+
+    def _accept(self, proposal: _Proposal) -> None:
+        self.begin_chat(proposal.proposer, proposal.target)
+        self._resolve(proposal, ProposalOutcome.ACCEPTED, chat=True)
+
+    def _expire(self, proposal: _Proposal) -> None:
+        if not proposal.resolved:
+            self._resolve(proposal, ProposalOutcome.TIMED_OUT)
+
+    def _resolve(
+        self, proposal: _Proposal, outcome: ProposalOutcome, chat: bool = False
+    ) -> None:
+        if proposal.resolved:
+            return
+        proposal.resolved = True
+        self._outgoing.pop(proposal.proposer, None)
+        if not chat and self.state(proposal.proposer) is PeerState.PROPOSING:
+            self._states[proposal.proposer] = PeerState.IDLE
+        proposal.event.succeed(outcome)

@@ -1,0 +1,105 @@
+"""A simple contribution ledger for incentive accounting (§V).
+
+The paper assumes "adequate incentive mechanisms exist" for sharing
+coresets and models, and points to vehicular crowdsensing markets as
+candidates.  This module provides the minimal bookkeeping such a
+mechanism needs: a per-vehicle credit ledger where
+
+* *sending* a model that the receiver actually valued earns credit
+  proportional to the receiver's Eq. 8 aggregation weight for it (a
+  model that dominated the merge was worth more), and a small flat
+  amount is earned per shared coreset;
+* *receiving* costs the symmetric amounts.
+
+:meth:`IncentiveLedger.allow_exchange` implements a tit-for-tat style
+admission rule — a vehicle deep in debt must contribute before it can
+keep consuming — which trainers can consult before starting a chat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IncentiveConfig", "IncentiveLedger"]
+
+
+@dataclass(frozen=True)
+class IncentiveConfig:
+    """Pricing and admission parameters."""
+
+    coreset_credit: float = 1.0
+    #: Credit per unit of aggregation weight the receiver gave the model.
+    model_credit_scale: float = 10.0
+    #: How far below zero a balance may fall before exchanges are gated.
+    debt_limit: float = 25.0
+    #: Initial stake so new vehicles can bootstrap.
+    initial_balance: float = 10.0
+
+
+class IncentiveLedger:
+    """Tracks per-vehicle credit balances across exchanges."""
+
+    def __init__(self, config: IncentiveConfig | None = None):
+        self.config = config or IncentiveConfig()
+        self._balances: dict[str, float] = {}
+        self._earned: dict[str, float] = {}
+        self._spent: dict[str, float] = {}
+
+    def balance(self, vehicle: str) -> float:
+        """A vehicle's current credit balance."""
+        return self._balances.get(vehicle, self.config.initial_balance)
+
+    def _adjust(self, vehicle: str, amount: float) -> None:
+        self._balances[vehicle] = self.balance(vehicle) + amount
+        if amount >= 0:
+            self._earned[vehicle] = self._earned.get(vehicle, 0.0) + amount
+        else:
+            self._spent[vehicle] = self._spent.get(vehicle, 0.0) - amount
+
+    # -- exchange events ------------------------------------------------------
+
+    def record_coreset_exchange(self, sender: str, receiver: str) -> None:
+        """A coreset moved from ``sender`` to ``receiver``."""
+        self._adjust(sender, self.config.coreset_credit)
+        self._adjust(receiver, -self.config.coreset_credit)
+
+    def record_model_delivery(
+        self, sender: str, receiver: str, aggregation_weight: float
+    ) -> None:
+        """A model was received and merged with the given Eq. 8 weight.
+
+        The weight (in [0, 1]) is the receiver's own measure of how much
+        the model was worth — the natural price signal in LbChat.
+        """
+        if not 0.0 <= aggregation_weight <= 1.0:
+            raise ValueError(f"weight must lie in [0, 1]: {aggregation_weight}")
+        credit = self.config.model_credit_scale * aggregation_weight
+        self._adjust(sender, credit)
+        self._adjust(receiver, -credit)
+
+    # -- admission --------------------------------------------------------------
+
+    def allow_exchange(self, vehicle: str) -> bool:
+        """Whether ``vehicle`` may start another consuming exchange."""
+        return self.balance(vehicle) > -self.config.debt_limit
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-vehicle balance/earned/spent breakdown."""
+        vehicles = set(self._balances) | set(self._earned) | set(self._spent)
+        return {
+            vehicle: {
+                "balance": self.balance(vehicle),
+                "earned": self._earned.get(vehicle, 0.0),
+                "spent": self._spent.get(vehicle, 0.0),
+            }
+            for vehicle in sorted(vehicles)
+        }
+
+    def total_credit(self) -> float:
+        """Conservation check: credit is zero-sum around initial stakes."""
+        return sum(
+            self.balance(vehicle) - self.config.initial_balance
+            for vehicle in self._balances
+        )

@@ -1,0 +1,273 @@
+"""A vehicle learner node: model + dataset + coreset + training state.
+
+The node bundles everything one vehicle owns in Algorithm 2 and exposes
+the operations the chat protocol and the baselines need.  It is
+transport-agnostic: all communication timing lives in
+:mod:`repro.core.chat` and the trainers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression import CompressedModel, compress_topk, decompress
+from repro.core.aggregate import aggregate_models, aggregation_weights
+from repro.core.psi import DEFAULT_PSI_GRID, PsiLossMap, build_psi_map
+from repro.coreset import (
+    Coreset,
+    PenaltyConfig,
+    merge_coresets,
+    penalized_loss,
+    reduce_coreset,
+)
+from repro.nn import Adam, waypoint_l1
+from repro.nn.params import get_flat_params, set_flat_params
+from repro.sim.dataset import DrivingDataset, Frame
+
+__all__ = ["NodeConfig", "VehicleNode"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Per-vehicle learning parameters (paper defaults from §IV-A)."""
+
+    coreset_size: int = 150
+    batch_size: int = 64
+    learning_rate: float = 1e-4
+    nominal_model_bytes: int = 52 * 1024 * 1024
+    bandwidth_bps: float = 31e6
+    penalty: PenaltyConfig = field(default_factory=PenaltyConfig)
+    psi_grid: tuple[float, ...] = DEFAULT_PSI_GRID
+    #: Rebuild the coreset after this many absorbed coresets/train steps.
+    coreset_refresh_steps: int = 25
+    #: Merge-and-reduce instead of full rebuilds while the dataset is
+    #: growing quickly (§III-D improvement).
+    use_merge_reduce: bool = True
+    #: Coreset construction strategy: "layered" (Algorithm 1),
+    #: "uniform" or "kmeans" (§V alternatives).
+    coreset_strategy: str = "layered"
+    #: Model compressor: "topk" (§III-C) or "quantize" (the alternative
+    #: the paper notes can be dropped in).
+    compressor: str = "topk"
+    #: Stratify minibatches uniformly over commands — the standard
+    #: branched-imitation trick (rare turn branches starve otherwise).
+    balance_commands: bool = True
+    #: Apply Eq. 6's L2 term during *training* as decoupled weight decay
+    #: (evaluations always include it via the penalty config).
+    train_with_weight_decay: bool = False
+
+
+class VehicleNode:
+    """One vehicle's learning state and LbChat operations."""
+
+    def __init__(
+        self,
+        node_id: str,
+        model,
+        dataset: DrivingDataset,
+        config: NodeConfig,
+        rng: np.random.Generator,
+    ):
+        if len(dataset) == 0:
+            raise ValueError(f"node {node_id} needs a non-empty local dataset")
+        self.node_id = node_id
+        self.model = model
+        self.dataset = dataset
+        self.config = config
+        self.rng = rng
+        weight_decay = (
+            config.penalty.lambda_l2 if config.train_with_weight_decay else 0.0
+        )
+        self.optimizer = Adam(
+            model.parameters(), lr=config.learning_rate, weight_decay=weight_decay
+        )
+        self.model_version = 0
+        self.train_steps = 0
+        self._loss_cache: dict[str, tuple[int, float]] = {}
+        self._steps_since_refresh = 0
+        self.coreset: Coreset = self.refresh_coreset()
+
+    # -- training ------------------------------------------------------------
+
+    def train_step(self) -> float:
+        """One weighted minibatch SGD step; returns the batch loss."""
+        bev, commands, targets, _ = self.dataset.sample_batch(
+            self.config.batch_size,
+            self.rng,
+            balance_commands=self.config.balance_commands,
+        )
+        pred = self.model.forward(bev, commands)
+        scalar, _, grad = waypoint_l1(pred, targets)
+        self.model.zero_grad()
+        self.model.backward(grad)
+        self.optimizer.step()
+        self.model_version += 1
+        self.train_steps += 1
+        self._steps_since_refresh += 1
+        return scalar
+
+    # -- evaluation ------------------------------------------------------------
+
+    def per_sample_losses(self, dataset: DrivingDataset) -> np.ndarray:
+        """Per-sample waypoint losses of the current model on ``dataset``.
+
+        Cached by (model version, frame id): Eq. 8 and Algorithm 1 reuse
+        losses heavily, and the paper calls out caching them (§III-D).
+        """
+        missing_idx = []
+        losses = np.zeros(len(dataset))
+        ids = dataset.ids
+        for i, frame_id in enumerate(ids):
+            cached = self._loss_cache.get(frame_id)
+            if cached is not None and cached[0] == self.model_version:
+                losses[i] = cached[1]
+            else:
+                missing_idx.append(i)
+        if missing_idx:
+            subset = dataset.subset(missing_idx)
+            bev, commands, targets, _ = subset.arrays()
+            pred = self.model.forward(bev, commands)
+            _, per_sample, _ = waypoint_l1(pred, targets)
+            for j, i in enumerate(missing_idx):
+                losses[i] = per_sample[j]
+                self._loss_cache[ids[i]] = (self.model_version, float(per_sample[j]))
+        return losses
+
+    def evaluate(self, dataset: DrivingDataset, with_penalty: bool = True) -> float:
+        """Weighted loss of the current model on ``dataset`` (Eq. 6)."""
+        losses = self.per_sample_losses(dataset)
+        _, commands, _, weights = dataset.arrays()
+        if with_penalty and self.config.penalty.enabled:
+            return penalized_loss(self.model, losses, commands, weights, self.config.penalty)
+        total = weights.sum()
+        return float(losses @ (weights / total))
+
+    def evaluate_model_on(self, model, dataset: DrivingDataset) -> float:
+        """Weighted loss of an *arbitrary* model (e.g. a peer's) — uncached."""
+        bev, commands, targets, weights = dataset.arrays()
+        pred = model.forward(bev, commands)
+        scalar, per_sample, _ = waypoint_l1(pred, targets, weights=weights)
+        if self.config.penalty.enabled:
+            return penalized_loss(model, per_sample, commands, weights, self.config.penalty)
+        return scalar
+
+    # -- coreset ------------------------------------------------------------
+
+    def refresh_coreset(self) -> Coreset:
+        """Rebuild the coreset from the local dataset.
+
+        Uses the configured construction strategy — Algorithm 1 layered
+        sampling by default, or the §V alternatives.
+        """
+        from repro.coreset.strategies import build_coreset_with
+
+        losses = self.per_sample_losses(self.dataset)
+        self.coreset = build_coreset_with(
+            self.config.coreset_strategy,
+            self.dataset,
+            losses,
+            self.config.coreset_size,
+            self.rng,
+        )
+        self._steps_since_refresh = 0
+        return self.coreset
+
+    def maybe_refresh_coreset(self) -> None:
+        """Rebuild the coreset if the refresh interval elapsed."""
+        if self._steps_since_refresh >= self.config.coreset_refresh_steps:
+            self.refresh_coreset()
+
+    def absorb_coreset(self, received: Coreset) -> int:
+        """Expand the local dataset with a received coreset (§III-D).
+
+        Original sample weights are reset to the local convention (all
+        equal, per the paper).  Returns the number of new frames.
+        Afterwards the own coreset is updated — by merge-and-reduce when
+        configured, else it will be rebuilt on the next refresh.
+        """
+        before = len(self.dataset)
+        frames = [
+            Frame(f.frame_id, f.bev, f.command, f.waypoints, 1.0)
+            for f in received.data.frames()
+        ]
+        self.dataset.extend(frames)
+        added = len(self.dataset) - before
+        if added and self.config.use_merge_reduce:
+            merged = merge_coresets(self.coreset, received)
+            losses = self.per_sample_losses(merged.data)
+            self.coreset = reduce_coreset(
+                merged, losses, self.config.coreset_size, self.rng
+            )
+        return added
+
+    # -- model exchange ------------------------------------------------------------
+
+    def build_psi_map(self) -> PsiLossMap:
+        """Fit phi: compression level -> loss on the own coreset."""
+        return build_psi_map(
+            self.model,
+            lambda probe: self.evaluate_model_on(probe, self.coreset.data),
+            self.config.nominal_model_bytes,
+            psi_grid=self.config.psi_grid,
+            compress_fn=lambda flat, psi: self.compress_model(psi),
+        )
+
+    def compress_model(self, psi: float) -> CompressedModel:
+        """Compress the current parameters to relative size ~psi.
+
+        Top-k sparsification by default; "quantize" maps psi to the
+        nearest bit width (quantization offers discrete size levels).
+        """
+        flat = get_flat_params(self.model)
+        if self.config.compressor == "quantize":
+            from repro.compression import compress_quantize
+
+            bits = int(np.clip(round(psi * 32), 1, 32))
+            return compress_quantize(flat, bits, self.config.nominal_model_bytes)
+        return compress_topk(flat, psi, self.config.nominal_model_bytes)
+
+    def receive_and_aggregate(
+        self,
+        compressed: CompressedModel,
+        eval_set: DrivingDataset,
+        mean_weights: bool = False,
+    ) -> tuple[float, float]:
+        """Materialize a received model and merge it in with Eq. 8.
+
+        The sparse model is overlaid on the local parameters (unsent
+        coordinates keep local values), both models are scored on
+        ``eval_set`` (typically C_i ∪ C_j), and the loss-weighted
+        combination replaces the local parameters.  ``mean_weights``
+        forces a plain 0.5/0.5 average (the §IV-F ablation).
+
+        Returns the (w_local, w_received) weights used.
+        """
+        local = get_flat_params(self.model)
+        received = decompress(compressed, fill=local)
+        if mean_weights:
+            weights = (0.5, 0.5)
+            merged = aggregate_models(local, received, 1.0, 1.0)
+        else:
+            from repro.nn.params import clone_model
+
+            probe = clone_model(self.model)
+            set_flat_params(probe, received)
+            loss_local = self.evaluate(eval_set)
+            loss_received = self.evaluate_model_on(probe, eval_set)
+            merged = aggregate_models(local, received, loss_local, loss_received)
+            weights = aggregation_weights(loss_local, loss_received)
+        set_flat_params(self.model, merged)
+        self.model_version += 1
+        return weights
+
+    def replace_model_params(self, flat: np.ndarray) -> None:
+        """Overwrite parameters (used by server-based baselines)."""
+        set_flat_params(self.model, flat)
+        self.model_version += 1
+
+    @property
+    def flat_params(self) -> np.ndarray:
+        """The model's parameters as one flat vector (a copy)."""
+        return get_flat_params(self.model)

@@ -1,0 +1,104 @@
+"""Partner-selection policies.
+
+LbChat ranks neighbors with the Eq. 5 priority score; the baselines use
+simpler rules (DP picks a random neighbor, DFL-DDS the nearest).  This
+module names those policies explicitly so selection can be studied in
+isolation — the trainers keep their historical defaults, and the
+selection ablation bench swaps policies on otherwise-identical LbChat.
+
+A policy is a callable ``(trainer, i, candidates) -> j | None`` over the
+trainer's public helpers (contact estimates, traces, node configs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.net.contact import priority_score
+
+__all__ = [
+    "select_random",
+    "select_nearest",
+    "select_longest_contact",
+    "select_priority",
+    "SELECTION_POLICIES",
+    "get_selection_policy",
+]
+
+SelectionPolicy = Callable[[object, int, list], Optional[int]]
+
+
+def select_random(trainer, i: int, candidates: list) -> int | None:
+    """Uniform choice among idle neighbors (DP's rule)."""
+    if not candidates:
+        return None
+    rng = trainer.nodes[i].rng
+    return int(candidates[rng.integers(len(candidates))])
+
+
+def select_nearest(trainer, i: int, candidates: list) -> int | None:
+    """Closest idle neighbor (DFL-DDS's rule)."""
+    if not candidates:
+        return None
+    now = trainer.sim.now
+    return int(min(candidates, key=lambda j: trainer.traces.distance(i, j, now)))
+
+
+def select_longest_contact(trainer, i: int, candidates: list) -> int | None:
+    """The neighbor whose predicted contact lasts longest.
+
+    A plausible-but-naive alternative to Eq. 5: it ignores completion
+    probability and urgency, so long-but-lossy contacts win.
+    """
+    if not candidates:
+        return None
+    best, best_duration = None, -1.0
+    for j in candidates:
+        estimate = trainer.contact_estimate(i, j, exchange_bytes=1.0)
+        if estimate.contact_duration > best_duration:
+            best, best_duration = j, estimate.contact_duration
+    return best
+
+
+def select_priority(trainer, i: int, candidates: list) -> int | None:
+    """Eq. 5: maximize z * p * min(B) (LbChat's rule)."""
+    if not candidates:
+        return None
+    from repro.core.chat import estimated_chat_bytes
+
+    best, best_score = None, 0.0
+    for j in candidates:
+        exchange_bytes = estimated_chat_bytes(
+            trainer.nodes[i],
+            trainer.nodes[j],
+            getattr(trainer.config, "anticipated_psi_total", 0.6),
+        )
+        estimate = trainer.contact_estimate(i, j, exchange_bytes)
+        score = priority_score(
+            estimate,
+            trainer.nodes[i].config.bandwidth_bps,
+            trainer.nodes[j].config.bandwidth_bps,
+        )
+        if score > best_score:
+            best, best_score = j, score
+    return best
+
+
+SELECTION_POLICIES: dict[str, SelectionPolicy] = {
+    "random": select_random,
+    "nearest": select_nearest,
+    "longest_contact": select_longest_contact,
+    "priority": select_priority,
+}
+
+
+def get_selection_policy(name: str) -> SelectionPolicy:
+    """Look up a selection policy by name."""
+    try:
+        return SELECTION_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown selection policy {name!r}; choose from {sorted(SELECTION_POLICIES)}"
+        ) from None

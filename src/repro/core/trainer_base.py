@@ -1,0 +1,214 @@
+"""Shared experiment scaffolding for LbChat and every baseline.
+
+A trainer owns: the vehicle nodes, the mobility traces driving
+encounters, the wireless/channel models, the discrete-event simulator,
+and the metric recorders (fleet validation-loss curve, model receive
+rate, byte counters).  Subclasses implement how/when vehicles exchange
+models; the base class provides the vehicle main loop, neighbor
+queries, and periodic loss recording so every method is measured
+identically.
+
+Timing conventions:
+
+* each local training iteration occupies ``train_interval`` simulated
+  seconds (a scaling knob standing in for GPU minibatch time — the paper
+  trains far larger models on an RTX 2060);
+* a vehicle is *busy* while chatting and trains no iterations then;
+* validation loss of every vehicle is recorded every
+  ``record_interval`` simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.node import VehicleNode
+from repro.engine import (
+    CounterSet,
+    ReceiveRateRecorder,
+    Simulator,
+    TimeSeriesRecorder,
+)
+from repro.net.channel import ChannelConfig
+from repro.net.contact import ContactEstimate, estimate_contact
+from repro.net.wireless import WirelessModel
+from repro.sim.dataset import DrivingDataset
+from repro.sim.traces import MobilityTraces
+
+__all__ = ["TrainerConfig", "TrainerBase"]
+
+
+@dataclass
+class TrainerConfig:
+    """Timeline and communication parameters shared by all methods."""
+
+    duration: float = 1200.0  # simulated training time T
+    train_interval: float = 2.0  # sim-seconds per local iteration
+    scan_interval: float = 5.0  # how often an idle vehicle looks around
+    record_interval: float = 30.0
+    time_budget: float = 15.0  # T_B (§IV-A)
+    route_horizon: float = 120.0  # shared route lookahead (§III-A)
+    lambda_c: float = 0.02
+    #: Minimum time before the same pair exchanges again — repeat chats
+    #: with a peer whose model/data was just absorbed add nothing.
+    pair_cooldown: float = 60.0
+    #: Record chat windows in a MAC contention tracker (sensitivity
+    #: studies; the paper's channel model is contention-free).
+    track_contention: bool = False
+    wireless_loss: bool = True
+    max_range: float = 500.0
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    seed: int = 0
+
+
+class TrainerBase:
+    """Runs one collaborative-training experiment on the event engine."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        nodes: list[VehicleNode],
+        traces: MobilityTraces,
+        validation: DrivingDataset,
+        config: TrainerConfig,
+    ):
+        if len(nodes) != traces.positions.shape[1]:
+            raise ValueError(
+                f"{len(nodes)} nodes but traces cover {traces.positions.shape[1]} vehicles"
+            )
+        self.nodes = nodes
+        self.traces = traces
+        self.validation = validation
+        self.config = config
+        self.sim = Simulator()
+        self.wireless = WirelessModel(
+            max_range=config.max_range, enabled=config.wireless_loss
+        )
+        self.loss_curve = TimeSeriesRecorder()
+        self.receive_rate = ReceiveRateRecorder()
+        self.counters = CounterSet()
+        self.busy_until = np.zeros(len(nodes))
+        self._last_chat: dict[tuple[int, int], float] = {}
+        self.contention = None
+        if config.track_contention:
+            from repro.net.mac import ContentionTracker
+
+            self.contention = ContentionTracker(sense_range=config.max_range)
+
+    def note_transfer_window(self, i: int, j: int, duration: float) -> None:
+        """Register a chat's airtime with the contention tracker (if on)."""
+        if self.contention is None or duration <= 0:
+            return
+        midpoint = 0.5 * (
+            self.traces.position(i, self.sim.now) + self.traces.position(j, self.sim.now)
+        )
+        self.contention.register(self.sim.now, self.sim.now + duration, midpoint)
+
+    # -- helpers subclasses use ------------------------------------------------
+
+    def is_idle(self, i: int) -> bool:
+        """Whether vehicle ``i`` is free to start a chat."""
+        return self.sim.now >= self.busy_until[i]
+
+    def occupy(self, i: int, duration: float) -> None:
+        """Mark vehicle ``i`` busy for ``duration`` from now."""
+        self.busy_until[i] = max(self.busy_until[i], self.sim.now + duration)
+
+    def idle_neighbors(self, i: int) -> list[int]:
+        """Idle, cooldown-clear vehicles within radio range of ``i``.
+
+        A non-positive ``max_range`` disables communication entirely
+        (the local-training-only configuration).
+        """
+        if self.config.max_range <= 0:
+            return []
+        near = self.traces.neighbors(i, self.sim.now, self.config.max_range)
+        return [j for j in near if self.is_idle(j) and self.pair_ready(i, j)]
+
+    def pair_ready(self, i: int, j: int) -> bool:
+        """Whether pair (i, j) is past its exchange cooldown."""
+        last = self._last_chat.get((min(i, j), max(i, j)))
+        return last is None or self.sim.now - last >= self.config.pair_cooldown
+
+    def note_chat(self, i: int, j: int) -> None:
+        """Record that pair (i, j) just chatted (cooldown start)."""
+        self._last_chat[(min(i, j), max(i, j))] = self.sim.now
+
+    def contact_estimate(self, i: int, j: int, exchange_bytes: float) -> ContactEstimate:
+        """§III-A estimate for pair (i, j) from shared future routes."""
+        now = self.sim.now
+        route_i = self.traces.future_positions(i, now, self.config.route_horizon)
+        route_j = self.traces.future_positions(j, now, self.config.route_horizon)
+        return estimate_contact(
+            route_i,
+            route_j,
+            self.traces.interval,
+            self.wireless,
+            self.config.channel,
+            exchange_bytes,
+            bandwidth_bps=min(
+                self.nodes[i].config.bandwidth_bps, self.nodes[j].config.bandwidth_bps
+            ),
+        )
+
+    def pair_distance_fn(self, i: int, j: int):
+        """Distance between i and j as a function of absolute time."""
+        return lambda t: self.traces.distance(i, j, t)
+
+    def record_losses(self) -> None:
+        """Record every vehicle's validation loss at the current time."""
+        for node in self.nodes:
+            loss = node.evaluate(self.validation, with_penalty=False)
+            self.loss_curve.record(node.node_id, self.sim.now, loss)
+
+    # -- processes ------------------------------------------------------------
+
+    def _vehicle_process(self, i: int):
+        """Algorithm 2 main loop for one vehicle (train + encounters).
+
+        Local training runs continuously — the onboard GPU keeps
+        iterating while the radio is mid-transfer (the paper counts only
+        local training time; communication and computation overlap).
+        The busy state gates *communication* only: a vehicle in a chat
+        does not start or accept another chat.
+        """
+        cfg = self.config
+        node = self.nodes[i]
+        next_scan = 0.0
+        while self.sim.now < cfg.duration:
+            node.train_step()
+            self.counters.add("train_steps")
+            if self.sim.now >= next_scan and self.is_idle(i):
+                next_scan = self.sim.now + cfg.scan_interval
+                self.on_scan(i)
+            yield self.sim.timeout(cfg.train_interval)
+
+    def _recorder_process(self):
+        while self.sim.now <= self.config.duration:
+            self.record_losses()
+            yield self.sim.timeout(self.config.record_interval)
+
+    # -- subclass hooks -----------------------------------------------------------
+
+    def on_scan(self, i: int) -> None:
+        """Called whenever idle vehicle ``i`` looks for exchange partners."""
+
+    def extra_processes(self) -> list:
+        """Additional generator processes (servers, RSUs, round clocks)."""
+        return []
+
+    # -- entry point -----------------------------------------------------------
+
+    def run(self) -> None:
+        """Execute the experiment until ``config.duration``."""
+        for i in range(len(self.nodes)):
+            self.sim.process(self._vehicle_process(i))
+        self.sim.process(self._recorder_process())
+        for gen in self.extra_processes():
+            self.sim.process(gen)
+        self.sim.run(until=self.config.duration)
+        # Final snapshot so curves end exactly at T.
+        self.record_losses()

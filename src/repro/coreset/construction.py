@@ -1,0 +1,185 @@
+"""Layered-sampling coreset construction — Algorithm 1.
+
+The dataset is partitioned into concentric layers (rings) by per-sample
+loss under the current model: the "center" is the sample of smallest
+loss, the 0-th layer radius is the mean loss ``R = f(x; D)/|D|``, and a
+sample at loss-distance ``dist`` from the center lands in layer
+``floor(log2(dist / R)) + 1`` (layer 0 holds samples within ``R``).
+Each layer then contributes a ``w(d)``-weighted random sample, and the
+selected samples of layer ``j`` carry the coreset weight
+
+    w_C(d) = sum_{d' in layer_j} w(d') / sum_{d' in selected_j} w(d'),
+
+exactly as Algorithm 1 line 12 prescribes, so the coreset's weighted
+loss estimates the layer's weighted loss.  The construction is
+data-independent in size and linear-time, per Wang et al. (NeurIPS'21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.dataset import DrivingDataset, Frame
+
+__all__ = ["Coreset", "layer_assignments", "allocate_layer_quotas", "build_coreset"]
+
+#: Nominal wire size of one coreset frame: 150 frames ~ 0.6 MB (§IV-A).
+FRAME_NOMINAL_BYTES = 4096
+
+
+@dataclass
+class Coreset:
+    """A weighted mini-dataset plus wire-size accounting.
+
+    ``data`` is a :class:`DrivingDataset` whose per-frame weights are the
+    coreset weights ``w_C(d)``; ``source_weights`` preserves the original
+    ``w(d)`` of each selected sample (needed when a receiver absorbs the
+    coreset into its local dataset, where original weights apply).
+    """
+
+    data: DrivingDataset
+    source_weights: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def nominal_bytes(self) -> int:
+        """Transfer size at paper scale (~0.6 MB for 150 frames)."""
+        return len(self.data) * FRAME_NOMINAL_BYTES
+
+    def frames_with_original_weights(self) -> list[Frame]:
+        """Frames carrying their original ``w(d)`` — for absorption.
+
+        The paper keeps original weights uniform across the expanded
+        dataset (§III-D), so receivers re-weight these to match their
+        local convention; exposing the originals keeps that explicit.
+        """
+        frames = self.data.frames()
+        if len(self.source_weights) != len(frames):
+            return frames
+        return [
+            Frame(f.frame_id, f.bev, f.command, f.waypoints, float(w))
+            for f, w in zip(frames, self.source_weights)
+        ]
+
+
+def layer_assignments(losses: np.ndarray) -> np.ndarray:
+    """Layer index of every sample given its loss (Algorithm 1, l.1-6).
+
+    Layer 0 collects samples whose loss-distance from the center (the
+    minimum loss) is within the mean loss ``R``; outer layers double in
+    radius, giving at most ``O(log |D|)`` layers.
+    """
+    losses = np.asarray(losses, dtype=float)
+    if losses.ndim != 1 or losses.size == 0:
+        raise ValueError("losses must be a non-empty vector")
+    if (losses < 0).any():
+        raise ValueError("losses must be non-negative")
+    center = losses.min()
+    radius = losses.mean() if losses.mean() > 0 else 1.0
+    dist = losses - center
+    layers = np.zeros(losses.size, dtype=np.int64)
+    outer = dist > radius
+    with np.errstate(divide="ignore"):
+        layers[outer] = np.floor(np.log2(dist[outer] / radius)).astype(np.int64) + 1
+    return layers
+
+
+def allocate_layer_quotas(
+    layer_weight: np.ndarray, layer_count: np.ndarray, target_size: int
+) -> np.ndarray:
+    """Split ``target_size`` samples across layers.
+
+    Quotas are proportional to each layer's total data weight — heavier
+    layers deserve more representatives — with every non-empty layer
+    guaranteed at least one sample and no layer allocated more samples
+    than it contains.
+    """
+    n_layers = len(layer_weight)
+    quotas = np.zeros(n_layers, dtype=np.int64)
+    nonempty = layer_count > 0
+    n_nonempty = int(nonempty.sum())
+    if n_nonempty == 0:
+        return quotas
+    target_size = max(target_size, n_nonempty)
+    quotas[nonempty] = 1
+    remaining = target_size - n_nonempty
+    if remaining > 0:
+        mass = np.where(nonempty, layer_weight, 0.0)
+        total = mass.sum()
+        if total > 0:
+            extra = np.floor(remaining * mass / total).astype(np.int64)
+            quotas += extra
+            # Distribute leftovers to the heaviest layers.
+            leftover = remaining - int(extra.sum())
+            order = np.argsort(-mass)
+            for layer_idx in order[:leftover]:
+                quotas[layer_idx] += 1
+    return np.minimum(quotas, layer_count)
+
+
+def build_coreset(
+    dataset: DrivingDataset,
+    losses: np.ndarray,
+    target_size: int,
+    rng: np.random.Generator,
+) -> Coreset:
+    """Algorithm 1: layered-sampling coreset of ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        The weighted local dataset ``D``.
+    losses:
+        Per-sample losses ``f(x; d)`` under the current model, aligned
+        with the dataset's frame order.
+    target_size:
+        Desired ``|C|`` (the paper's default is 150).
+    """
+    if len(dataset) == 0:
+        raise ValueError("cannot build a coreset from an empty dataset")
+    losses = np.asarray(losses, dtype=float)
+    if losses.size != len(dataset):
+        raise ValueError(f"{losses.size} losses for {len(dataset)} samples")
+    if target_size >= len(dataset):
+        # Degenerate case: the dataset is already small enough.
+        return Coreset(
+            data=dataset.with_weights(dataset.weights),
+            source_weights=dataset.weights.copy(),
+        )
+
+    weights = dataset.weights
+    layers = layer_assignments(losses)
+    n_layers = int(layers.max()) + 1
+    layer_weight = np.zeros(n_layers)
+    layer_count = np.zeros(n_layers, dtype=np.int64)
+    for j in range(n_layers):
+        mask = layers == j
+        layer_count[j] = int(mask.sum())
+        layer_weight[j] = float(weights[mask].sum())
+    quotas = allocate_layer_quotas(layer_weight, layer_count, target_size)
+
+    selected_frames: list[Frame] = []
+    source_weights: list[float] = []
+    for j in range(n_layers):
+        if quotas[j] == 0:
+            continue
+        members = np.where(layers == j)[0]
+        member_weights = weights[members]
+        probs = member_weights / member_weights.sum()
+        chosen = rng.choice(members, size=int(quotas[j]), replace=False, p=probs)
+        # Algorithm 1 line 12: one ratio per layer.
+        w_c = float(layer_weight[j] / weights[chosen].sum())
+        for idx in chosen:
+            frame = dataset.frame(int(idx))
+            selected_frames.append(
+                Frame(frame.frame_id, frame.bev, frame.command, frame.waypoints, w_c)
+            )
+            source_weights.append(float(weights[idx]))
+    return Coreset(
+        data=DrivingDataset(selected_frames),
+        source_weights=np.asarray(source_weights),
+    )

@@ -1,0 +1,63 @@
+"""Empirical ε-coreset verification (Definition II.2).
+
+A coreset C of D should satisfy ``|f(x; C) − f(x; D)| ≤ ε f(x; D)`` for
+every model x in a ball around the construction point.  We verify this
+empirically: perturb the model within a radius, evaluate both weighted
+losses, and report the worst relative error.  Tests use this to check
+that Algorithm 1's output really approximates the dataset and that
+merge-reduce preserves the guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coreset.construction import Coreset
+from repro.nn import waypoint_l1
+from repro.nn.params import get_flat_params, set_flat_params
+from repro.sim.dataset import DrivingDataset
+
+__all__ = ["weighted_dataset_loss", "relative_coreset_error"]
+
+
+def weighted_dataset_loss(model, dataset: DrivingDataset) -> float:
+    """Weighted mean waypoint-L1 loss of ``model`` over ``dataset``."""
+    bev, commands, targets, weights = dataset.arrays()
+    pred = model.forward(bev, commands)
+    scalar, _, _ = waypoint_l1(pred, targets, weights=weights)
+    return scalar
+
+
+def relative_coreset_error(
+    model,
+    dataset: DrivingDataset,
+    coreset: Coreset,
+    radius: float = 0.0,
+    n_probes: int = 5,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Worst relative loss error of the coreset over a parameter ball.
+
+    ``radius = 0`` checks only the construction point; a positive radius
+    additionally probes ``n_probes`` random perturbations of norm up to
+    ``radius`` (the CnB ball), restoring the model's parameters after.
+    """
+    original = get_flat_params(model)
+    probes = [original]
+    if radius > 0:
+        rng = rng or np.random.default_rng(0)
+        for _ in range(n_probes):
+            direction = rng.normal(size=original.size).astype(np.float32)
+            direction *= radius * rng.uniform() / max(np.linalg.norm(direction), 1e-12)
+            probes.append(original + direction)
+    worst = 0.0
+    try:
+        for flat in probes:
+            set_flat_params(model, flat)
+            full = weighted_dataset_loss(model, dataset)
+            approx = weighted_dataset_loss(model, coreset.data)
+            if full > 0:
+                worst = max(worst, abs(approx - full) / full)
+    finally:
+        set_flat_params(model, original)
+    return worst

@@ -1,0 +1,132 @@
+"""Metric recorders shared by every training method.
+
+Recorders are deliberately dumb containers: methods under test call
+``record``/``observe`` with virtual timestamps from the simulator, and
+the experiment harness post-processes them into the paper's figures and
+tables.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TimeSeriesRecorder", "ReceiveRateRecorder", "CounterSet"]
+
+
+class TimeSeriesRecorder:
+    """Per-key time series of scalar observations.
+
+    Used for the training-loss-vs-time curves of Fig. 2 and Fig. 3.
+    Each key is typically a vehicle id; :meth:`mean_curve` resamples every
+    series onto a common grid and averages across keys, which is how the
+    paper reports "the" training loss of a fleet.
+    """
+
+    def __init__(self):
+        self._times: dict[str, list[float]] = defaultdict(list)
+        self._values: dict[str, list[float]] = defaultdict(list)
+
+    def record(self, key: str, time: float, value: float) -> None:
+        """Append an observation for ``key`` at monotonically rising time."""
+        series_t = self._times[key]
+        if series_t and time < series_t[-1]:
+            raise ValueError(f"non-monotonic time for {key!r}: {time} < {series_t[-1]}")
+        series_t.append(time)
+        self._values[key].append(float(value))
+
+    def keys(self) -> list[str]:
+        """All recorded series keys, sorted."""
+        return sorted(self._times)
+
+    def series(self, key: str) -> tuple[np.ndarray, np.ndarray]:
+        """Raw (times, values) arrays for one key."""
+        return np.asarray(self._times[key]), np.asarray(self._values[key])
+
+    def value_at(self, key: str, time: float) -> float:
+        """Last observation at or before ``time`` (step interpolation)."""
+        times = self._times[key]
+        idx = bisect_right(times, time) - 1
+        if idx < 0:
+            raise ValueError(f"no observation for {key!r} at or before t={time}")
+        return self._values[key][idx]
+
+    def mean_curve(self, grid: np.ndarray) -> np.ndarray:
+        """Average the step-interpolated series of all keys onto ``grid``.
+
+        Grid points earlier than a series' first observation use that
+        series' first value, so early grid points are still averages over
+        the full fleet.
+        """
+        if not self._times:
+            raise ValueError("no series recorded")
+        out = np.zeros_like(np.asarray(grid, dtype=float))
+        for key in self._times:
+            times = self._times[key]
+            values = self._values[key]
+            for i, t in enumerate(grid):
+                idx = bisect_right(times, t) - 1
+                out[i] += values[max(idx, 0)]
+        return out / len(self._times)
+
+    def final_mean(self) -> float:
+        """Mean of each series' last observation."""
+        if not self._values:
+            raise ValueError("no series recorded")
+        return float(np.mean([v[-1] for v in self._values.values()]))
+
+
+@dataclass
+class ReceiveRateRecorder:
+    """Tracks attempted vs completed model receptions (§IV-C).
+
+    The paper reports the *successful model receiving rate*: the fraction
+    of model transfers a vehicle starts receiving that complete within
+    the contact window despite wireless loss.
+    """
+
+    attempted: int = 0
+    completed: int = 0
+    _per_key: dict[str, list[int]] = field(default_factory=lambda: defaultdict(lambda: [0, 0]))
+
+    def observe(self, key: str, success: bool) -> None:
+        """Record one attempted model reception and its outcome."""
+        self.attempted += 1
+        self._per_key[key][0] += 1
+        if success:
+            self.completed += 1
+            self._per_key[key][1] += 1
+
+    @property
+    def rate(self) -> float:
+        """Overall completion rate in [0, 1]; 0 when nothing attempted."""
+        return self.completed / self.attempted if self.attempted else 0.0
+
+    def rate_for(self, key: str) -> float:
+        """Completion rate for one key; 0 when it attempted nothing."""
+        attempted, completed = self._per_key[key]
+        return completed / attempted if attempted else 0.0
+
+
+class CounterSet:
+    """Named monotonically increasing counters (bytes sent, chats, ...)."""
+
+    def __init__(self):
+        self._counts: dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment a counter by a non-negative amount."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative: {amount}")
+        self._counts[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counts[name]
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all counters as a plain dict."""
+        return dict(self._counts)

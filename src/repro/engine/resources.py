@@ -1,0 +1,90 @@
+"""Capacity-limited resources for the event engine.
+
+A :class:`Resource` is the classic DES primitive: ``capacity`` slots,
+FIFO queueing, request/release from processes.  The trainers model a
+vehicle's radio with simple ``busy_until`` timestamps (cheaper when the
+holder is known in advance), but protocol experiments — e.g. modelling
+an RSU that serves one vehicle at a time — want real queueing, which
+this provides.
+
+Usage inside a process::
+
+    radio = Resource(sim, capacity=1)
+
+    def vehicle():
+        grant = yield from radio.request()
+        try:
+            yield sim.timeout(transfer_time)
+        finally:
+            radio.release(grant)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.engine.events import Event, Simulator
+
+__all__ = ["Resource", "Grant"]
+
+
+@dataclass(frozen=True)
+class Grant:
+    """Proof of an acquired slot; pass back to :meth:`Resource.release`."""
+
+    grant_id: int
+
+
+class Resource:
+    """FIFO resource with ``capacity`` concurrent holders."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self._ids = count()
+        self._holders: set[int] = set()
+        self._waiters: deque[tuple[int, Event]] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    @property
+    def available(self) -> int:
+        """Free slots right now."""
+        return self.capacity - len(self._holders)
+
+    def request(self):
+        """Acquire a slot; yields from a process, returns a :class:`Grant`.
+
+        Grants are issued in request order (FIFO).
+        """
+        grant_id = next(self._ids)
+        event = self._sim.event()
+        if self.available > 0 and not self._waiters:
+            self._holders.add(grant_id)
+            event.succeed(Grant(grant_id))
+        else:
+            self._waiters.append((grant_id, event))
+        grant = yield event
+        return grant
+
+    def release(self, grant: Grant) -> None:
+        """Return a slot; wakes the next FIFO waiter (if any)."""
+        if grant.grant_id not in self._holders:
+            raise ValueError(f"grant {grant.grant_id} does not hold this resource")
+        self._holders.remove(grant.grant_id)
+        if self._waiters and self.available > 0:
+            next_id, event = self._waiters.popleft()
+            self._holders.add(next_id)
+            event.succeed(Grant(next_id))

@@ -1,0 +1,79 @@
+"""Experiment harness: everything needed to regenerate the paper's
+figures and tables (see DESIGN.md's per-experiment index).
+
+* :mod:`repro.experiments.configs` — scale presets (``ci`` for tests and
+  benchmark runs, ``paper`` for §IV-A-faithful parameters).
+* :mod:`repro.experiments.runner` — builds the shared world/data/trace
+  context, instantiates any method by name, runs it, and online-evaluates
+  the resulting models.
+* :mod:`repro.experiments.tables` — Tables II-VII.
+* :mod:`repro.experiments.figures` — Fig. 2 and Fig. 3 loss curves, plus
+  the §IV-C receive-rate comparison.
+* :mod:`repro.experiments.render` — plain-text renderers shaped like the
+  paper's tables.
+"""
+
+from repro.experiments.configs import ExperimentScale, get_scale
+from repro.experiments.runner import (
+    ExperimentContext,
+    METHOD_NAMES,
+    build_context,
+    make_nodes,
+    make_trainer,
+    online_evaluate,
+    run_method,
+)
+from repro.experiments.render import render_curves, render_table
+from repro.experiments.tables import (
+    TableResult,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.experiments.figures import FigureResult, fig2, fig3, receive_rates
+from repro.experiments.analysis import (
+    convergence_summary,
+    relative_slowdown,
+    time_to_threshold,
+)
+from repro.experiments.io import cached_context, load_run, save_run
+from repro.experiments.multiseed import SeedSummary, compare_methods, run_seeds
+from repro.experiments.report import build_report
+
+__all__ = [
+    "TableResult",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "FigureResult",
+    "fig2",
+    "fig3",
+    "receive_rates",
+    "time_to_threshold",
+    "relative_slowdown",
+    "convergence_summary",
+    "cached_context",
+    "save_run",
+    "load_run",
+    "SeedSummary",
+    "run_seeds",
+    "compare_methods",
+    "build_report",
+    "ExperimentScale",
+    "get_scale",
+    "ExperimentContext",
+    "METHOD_NAMES",
+    "build_context",
+    "make_nodes",
+    "make_trainer",
+    "run_method",
+    "online_evaluate",
+    "render_table",
+    "render_curves",
+]

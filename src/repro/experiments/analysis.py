@@ -1,0 +1,101 @@
+"""Post-hoc analysis of loss curves.
+
+The paper's Fig. 3 discussion compares *convergence times* ("SCO takes
+about 1.5-1.8x longer to converge"); these helpers compute exactly such
+statistics from recorded curves so benches and notebooks don't re-derive
+them ad hoc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "time_to_threshold",
+    "relative_slowdown",
+    "area_under_curve",
+    "improvement_rate",
+    "convergence_summary",
+]
+
+
+def time_to_threshold(grid: np.ndarray, curve: np.ndarray, threshold: float) -> float:
+    """First time the curve reaches ``threshold``, linearly interpolated.
+
+    Returns ``inf`` when the curve never gets there.
+    """
+    grid = np.asarray(grid, dtype=float)
+    curve = np.asarray(curve, dtype=float)
+    if grid.shape != curve.shape:
+        raise ValueError("grid and curve must align")
+    below = np.where(curve <= threshold)[0]
+    if len(below) == 0:
+        return np.inf
+    k = int(below[0])
+    if k == 0:
+        return float(grid[0])
+    # Linear interpolation between the straddling samples.
+    t0, t1 = grid[k - 1], grid[k]
+    v0, v1 = curve[k - 1], curve[k]
+    if v0 == v1:
+        return float(t1)
+    frac = (v0 - threshold) / (v0 - v1)
+    return float(t0 + frac * (t1 - t0))
+
+
+def relative_slowdown(
+    grid: np.ndarray,
+    fast_curve: np.ndarray,
+    slow_curve: np.ndarray,
+    threshold: float | None = None,
+) -> float:
+    """How much longer the slow curve takes to reach the threshold.
+
+    Default threshold: 110% of the better final loss (the "converged"
+    band).  Returns ``inf`` when only the fast curve converges, 1.0 when
+    neither does.
+    """
+    if threshold is None:
+        threshold = 1.1 * min(fast_curve[-1], slow_curve[-1])
+    t_fast = time_to_threshold(grid, fast_curve, threshold)
+    t_slow = time_to_threshold(grid, slow_curve, threshold)
+    if np.isinf(t_fast) and np.isinf(t_slow):
+        return 1.0
+    if np.isinf(t_slow):
+        return np.inf
+    if np.isinf(t_fast):
+        return 0.0
+    return float(t_slow / max(t_fast, 1e-9))
+
+
+def area_under_curve(grid: np.ndarray, curve: np.ndarray) -> float:
+    """Trapezoidal integral of the loss curve — total regret."""
+    return float(np.trapezoid(curve, grid))
+
+
+def improvement_rate(grid: np.ndarray, curve: np.ndarray) -> float:
+    """Average loss reduction per unit time over the whole run."""
+    span = float(grid[-1] - grid[0])
+    if span <= 0:
+        raise ValueError("grid must span a positive duration")
+    return float((curve[0] - curve[-1]) / span)
+
+
+def convergence_summary(
+    grid: np.ndarray, curves: dict[str, np.ndarray], threshold: float | None = None
+) -> dict[str, dict[str, float]]:
+    """Per-method convergence statistics for a family of curves.
+
+    ``threshold`` defaults to 110% of the best final loss across methods.
+    """
+    if threshold is None:
+        threshold = 1.1 * min(curve[-1] for curve in curves.values())
+    return {
+        name: {
+            "final": float(curve[-1]),
+            "time_to_threshold": time_to_threshold(grid, curve, threshold),
+            "auc": area_under_curve(grid, curve),
+            "rate": improvement_rate(grid, curve),
+        }
+        for name, curve in curves.items()
+    }

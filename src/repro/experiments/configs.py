@@ -1,0 +1,113 @@
+"""Scale presets for the experiment harness.
+
+``paper`` mirrors §IV-A: a ~1 km x 1 km town+rural map, 32 expert
+vehicles, 50 background cars, 250 pedestrians, 52 MB nominal model,
+150-sample coresets, 31 Mbps / 500 m radios, T_B = 15 s.  (Training
+horizons are scaled: the paper trains for simulated hours on a GPU; the
+pure-numpy learner here reaches its convergence plateau far sooner.)
+
+``ci`` is a miniature of the same world that keeps every mechanism
+exercised while finishing on one CPU core — used by the test suite and
+the pytest-benchmark targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coreset import PenaltyConfig
+from repro.sim.bev import BevSpec
+from repro.sim.world import WorldConfig
+
+__all__ = ["ExperimentScale", "get_scale", "CI", "PAPER"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Everything that differs between ci and paper scale."""
+
+    name: str
+    world: WorldConfig
+    bev: BevSpec = field(default_factory=lambda: BevSpec(grid=20, cell=2.0))
+    n_waypoints: int = 5
+    hidden: int = 96
+    model_seed: int = 0
+    #: Seconds of expert driving collected per local dataset.
+    collect_duration: float = 120.0
+    #: Seconds of mobility traces for the communication phase.
+    trace_duration: float = 600.0
+    #: Collaborative-training horizon T.
+    train_duration: float = 300.0
+    train_interval: float = 2.0
+    record_interval: float = 30.0
+    coreset_size: int = 30
+    learning_rate: float = 1e-3
+    batch_size: int = 64
+    penalty: PenaltyConfig = field(default_factory=PenaltyConfig)
+    #: Online-evaluation trials per driving condition.
+    eval_trials: int = 6
+    #: Vehicles whose trained models are online-evaluated (averaged).
+    eval_models: int = 2
+    eval_normal_cars: int = 8
+    eval_normal_pedestrians: int = 30
+    #: Fraction of collected frames held out as the shared validation set.
+    validation_stride: int = 10
+
+
+CI = ExperimentScale(
+    name="ci",
+    world=WorldConfig(
+        map_size=500.0,
+        grid_n=4,
+        n_vehicles=6,
+        n_background_cars=6,
+        n_pedestrians=20,
+        seed=7,
+        min_route_length=150.0,
+        n_districts=4,
+        ped_district_skew=True,
+    ),
+    collect_duration=120.0,
+    trace_duration=1300.0,
+    train_duration=1200.0,
+    train_interval=1.0,
+    coreset_size=12,
+    eval_trials=8,
+    eval_models=2,
+    eval_normal_cars=8,
+    eval_normal_pedestrians=30,
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    world=WorldConfig(
+        map_size=1000.0,
+        grid_n=6,
+        n_vehicles=32,
+        n_background_cars=50,
+        n_pedestrians=250,
+        seed=7,
+        min_route_length=250.0,
+        n_districts=4,
+        ped_district_skew=True,
+    ),
+    collect_duration=300.0,
+    trace_duration=2400.0,
+    train_duration=1800.0,
+    coreset_size=150,
+    eval_trials=20,
+    eval_models=4,
+    eval_normal_cars=50,
+    eval_normal_pedestrians=250,
+    learning_rate=1e-3,
+)
+
+_SCALES = {scale.name: scale for scale in (CI, PAPER)}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a preset by name ('ci' or 'paper')."""
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(f"unknown scale {name!r}; choose from {sorted(_SCALES)}") from None

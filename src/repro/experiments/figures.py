@@ -1,0 +1,102 @@
+"""Figures 2-3 and the §IV-C receive-rate comparison.
+
+Figures are returned as ``(grid, {method: curve})`` pairs: the fleet's
+mean validation loss over training time, step-interpolated onto a
+common grid — exactly what the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.configs import ExperimentScale, get_scale
+from repro.experiments.render import render_curves
+from repro.experiments.runner import build_context, run_method
+
+__all__ = ["FigureResult", "fig2", "fig3", "receive_rates"]
+
+FIG2_METHODS = ("ProxSkip", "RSU-L", "DFL-DDS", "DP", "LbChat")
+
+
+@dataclass
+class FigureResult:
+    """A reproduced loss-vs-time figure."""
+
+    title: str
+    grid: np.ndarray
+    curves: dict[str, np.ndarray]
+
+    def render(self) -> str:
+        """The figure as aligned text columns."""
+        return render_curves(self.title, self.grid, self.curves)
+
+    def final(self, method: str) -> float:
+        """A method's final loss value."""
+        return float(self.curves[method][-1])
+
+    def convergence_time(self, method: str, threshold: float) -> float:
+        """First grid time at which the curve drops below ``threshold``.
+
+        Returns the last grid time if the threshold is never reached.
+        """
+        curve = self.curves[method]
+        below = np.where(curve <= threshold)[0]
+        return float(self.grid[below[0]]) if len(below) else float(self.grid[-1])
+
+
+def fig2(
+    scale: ExperimentScale | str = "ci",
+    wireless: bool = False,
+    seed: int = 1,
+    n_points: int = 21,
+) -> FigureResult:
+    """Fig. 2(a) (wireless=False) / Fig. 2(b) (wireless=True)."""
+    scale = get_scale(scale) if isinstance(scale, str) else scale
+    context = build_context(scale)
+    curves: dict[str, np.ndarray] = {}
+    grid = np.linspace(0.0, scale.train_duration, n_points)
+    for method in FIG2_METHODS:
+        result = run_method(context, method, wireless=wireless, seed=seed)
+        _, curve = result.loss_curve(n_points)
+        curves[method] = curve
+    label = "w" if wireless else "w/o"
+    return FigureResult(
+        title=f"Fig. 2: training loss vs. time ({label} wireless loss)",
+        grid=grid,
+        curves=curves,
+    )
+
+
+def fig3(
+    scale: ExperimentScale | str = "ci",
+    wireless: bool = True,
+    seed: int = 1,
+    n_points: int = 21,
+) -> FigureResult:
+    """Fig. 3: LbChat vs SCO convergence speed."""
+    scale = get_scale(scale) if isinstance(scale, str) else scale
+    context = build_context(scale)
+    grid = np.linspace(0.0, scale.train_duration, n_points)
+    curves: dict[str, np.ndarray] = {}
+    for method in ("LbChat", "SCO"):
+        result = run_method(context, method, wireless=wireless, seed=seed)
+        _, curve = result.loss_curve(n_points)
+        curves[method] = curve
+    return FigureResult(
+        title="Fig. 3: training loss vs. time (LbChat & SCO)", grid=grid, curves=curves
+    )
+
+
+def receive_rates(
+    scale: ExperimentScale | str = "ci", seed: int = 1
+) -> dict[str, float]:
+    """§IV-C: successful model receiving rate per method, under loss."""
+    scale = get_scale(scale) if isinstance(scale, str) else scale
+    context = build_context(scale)
+    rates = {}
+    for method in FIG2_METHODS:
+        result = run_method(context, method, wireless=True, seed=seed)
+        rates[method] = result.receive_rate
+    return rates

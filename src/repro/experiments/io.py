@@ -1,0 +1,107 @@
+"""Experiment persistence: context caching and result archives.
+
+Building an :class:`~repro.experiments.runner.ExperimentContext` (world
+run, dataset collection, mobility traces) is the most expensive
+method-independent step of every experiment; :func:`cached_context`
+persists it to disk keyed by a hash of the scale parameters, so repeated
+benchmark sessions skip straight to training.
+
+:func:`save_run` / :func:`load_run` archive a run's measurable outputs
+(loss curve, receive rate, counters) as JSON for post-processing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import (
+    ExperimentContext,
+    RunResult,
+    build_context,
+)
+
+__all__ = ["scale_fingerprint", "cached_context", "save_run", "load_run"]
+
+DEFAULT_CACHE_DIR = Path(".repro_cache")
+
+_CACHE_FORMAT = 1
+
+
+def scale_fingerprint(scale: ExperimentScale) -> str:
+    """Deterministic hash of every context-relevant scale parameter."""
+    payload = {
+        "format": _CACHE_FORMAT,
+        "world": asdict(scale.world),
+        "bev": (scale.bev.grid, scale.bev.cell, scale.bev.back_fraction),
+        "n_waypoints": scale.n_waypoints,
+        "collect_duration": scale.collect_duration,
+        "trace_duration": scale.trace_duration,
+        "validation_stride": scale.validation_stride,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def cached_context(
+    scale: ExperimentScale, cache_dir: str | Path = DEFAULT_CACHE_DIR
+) -> ExperimentContext:
+    """Load the scale's context from disk, building and storing on miss.
+
+    The cache key covers everything that influences the context, so a
+    changed world parameter never serves stale data.  Corrupt cache
+    files are rebuilt silently.
+    """
+    cache_dir = Path(cache_dir)
+    path = cache_dir / f"context-{scale.name}-{scale_fingerprint(scale)}.pkl"
+    if path.exists():
+        try:
+            with open(path, "rb") as fh:
+                context = pickle.load(fh)
+            if isinstance(context, ExperimentContext):
+                return context
+        except (pickle.UnpicklingError, EOFError, AttributeError):
+            path.unlink(missing_ok=True)
+    context = build_context(scale)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "wb") as fh:
+        pickle.dump(context, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.replace(path)
+    return context
+
+
+def save_run(result: RunResult, path: str | Path, n_points: int = 41) -> None:
+    """Archive a run's outputs as JSON."""
+    grid, curve = result.loss_curve(n_points)
+    payload = {
+        "method": result.method,
+        "duration": result.trainer.config.duration,
+        "wireless_loss": result.trainer.config.wireless_loss,
+        "seed": result.trainer.config.seed,
+        "grid": grid.tolist(),
+        "loss_curve": curve.tolist(),
+        "receive_rate": result.receive_rate,
+        "counters": result.trainer.counters.as_dict(),
+        "per_vehicle_final_loss": {
+            key: result.trainer.loss_curve.series(key)[1][-1]
+            for key in result.trainer.loss_curve.keys()
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, default=float))
+
+
+def load_run(path: str | Path) -> dict:
+    """Load a run archive; arrays come back as numpy."""
+    payload = json.loads(Path(path).read_text())
+    payload["grid"] = np.asarray(payload["grid"])
+    payload["loss_curve"] = np.asarray(payload["loss_curve"])
+    return payload

@@ -1,0 +1,87 @@
+"""LaTeX rendering of reproduced tables and figures.
+
+Releases of paper reproductions usually ship LaTeX snippets so the
+measured numbers can be dropped straight into a writeup next to the
+originals.  These renderers mirror :mod:`repro.experiments.render` but
+emit ``tabular`` environments and pgfplots coordinate lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["latex_table", "latex_curves"]
+
+
+def _escape(text: str) -> str:
+    out = []
+    for ch in str(text):
+        if ch in "&%$#_{}":
+            out.append("\\" + ch)
+        elif ch == "~":
+            out.append(r"\textasciitilde{}")
+        elif ch == "^":
+            out.append(r"\textasciicircum{}")
+        elif ch == "\\":
+            out.append(r"\textbackslash{}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def latex_table(
+    caption: str,
+    row_labels: list[str],
+    col_labels: list[str],
+    values: dict[str, dict[str, float]],
+    fmt: str = "{:.0f}",
+    label: str | None = None,
+) -> str:
+    """Render ``values[row][col]`` as a LaTeX ``table`` environment."""
+    cols = "l" + "c" * len(col_labels)
+    lines = [
+        r"\begin{table}[t]",
+        r"  \centering",
+        rf"  \caption{{{_escape(caption)}}}",
+    ]
+    if label:
+        lines.append(rf"  \label{{{_escape(label)}}}")
+    lines.append(rf"  \begin{{tabular}}{{{cols}}}")
+    lines.append(r"    \hline")
+    header = " & ".join(["Task"] + [_escape(c) for c in col_labels])
+    lines.append(f"    {header} \\\\")
+    lines.append(r"    \hline")
+    for row in row_labels:
+        cells = [_escape(row)]
+        for col in col_labels:
+            value = values.get(row, {}).get(col)
+            cells.append("-" if value is None else fmt.format(value))
+        lines.append("    " + " & ".join(cells) + r" \\")
+    lines.append(r"    \hline")
+    lines.append(r"  \end{tabular}")
+    lines.append(r"\end{table}")
+    return "\n".join(lines)
+
+
+def latex_curves(
+    title: str,
+    grid: np.ndarray,
+    curves: dict[str, np.ndarray],
+    xlabel: str = "Time (s)",
+    ylabel: str = "Training loss",
+) -> str:
+    """Render loss curves as a pgfplots ``axis`` environment."""
+    lines = [
+        r"\begin{tikzpicture}",
+        r"  \begin{axis}[",
+        rf"      title={{{_escape(title)}}},",
+        rf"      xlabel={{{_escape(xlabel)}}}, ylabel={{{_escape(ylabel)}}},",
+        r"      legend pos=north east]",
+    ]
+    for name, curve in curves.items():
+        coords = " ".join(f"({t:g},{v:.4f})" for t, v in zip(grid, curve))
+        lines.append(rf"    \addplot coordinates {{{coords}}};")
+        lines.append(rf"    \addlegendentry{{{_escape(name)}}}")
+    lines.append(r"  \end{axis}")
+    lines.append(r"\end{tikzpicture}")
+    return "\n".join(lines)

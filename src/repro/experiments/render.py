@@ -1,0 +1,55 @@
+"""Plain-text rendering of results in the paper's table shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_table", "render_curves"]
+
+
+def render_table(
+    title: str,
+    row_labels: list[str],
+    col_labels: list[str],
+    values: dict[str, dict[str, float]],
+    fmt: str = "{:.0f}",
+) -> str:
+    """Render ``values[row][col]`` as an aligned text table.
+
+    Missing cells render as '-'.
+    """
+    header = ["Task"] + list(col_labels)
+    rows = [header]
+    for row in row_labels:
+        cells = [row]
+        for col in col_labels:
+            value = values.get(row, {}).get(col)
+            cells.append("-" if value is None else fmt.format(value))
+        rows.append(cells)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = [title, "=" * len(title)]
+    for idx, cells in enumerate(rows):
+        line = "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(cells))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+def render_curves(
+    title: str,
+    grid: np.ndarray,
+    curves: dict[str, np.ndarray],
+    n_points: int = 11,
+) -> str:
+    """Render loss-vs-time series as aligned text columns (a "figure")."""
+    idx = np.linspace(0, len(grid) - 1, n_points).astype(int)
+    lines = [title, "=" * len(title)]
+    name_width = max(len(name) for name in curves) if curves else 4
+    time_cells = "  ".join(f"{grid[i]:7.0f}" for i in idx)
+    lines.append(f"{'t(s)'.ljust(name_width)}  {time_cells}")
+    lines.append("-" * len(lines[-1]))
+    for name, curve in curves.items():
+        cells = "  ".join(f"{curve[i]:7.3f}" for i in idx)
+        lines.append(f"{name.ljust(name_width)}  {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,285 @@
+"""Experiment runner: context building, method dispatch, online eval.
+
+The expensive, method-independent work — running the world to collect
+per-vehicle datasets and mobility traces — happens once per scale in
+:func:`build_context` (memoized in-process).  Every method then trains
+from identical initial models, identical local datasets, and identical
+encounter patterns, so differences in outcomes are attributable to the
+methods alone, matching the paper's controlled comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.baselines import (
+    DflDdsTrainer,
+    DpTrainer,
+    ProxSkipTrainer,
+    RsuLTrainer,
+    ScoTrainer,
+    equal_compression_trainer,
+    mean_aggregation_trainer,
+    no_prioritization_trainer,
+)
+from repro.baselines.dfl_dds import DflDdsConfig
+from repro.baselines.dp import DpConfig
+from repro.baselines.proxskip import ProxSkipConfig
+from repro.baselines.rsul import RsuLConfig
+from repro.core.lbchat import LbChatConfig, LbChatTrainer
+from repro.core.node import NodeConfig, VehicleNode
+from repro.core.trainer_base import TrainerBase
+from repro.engine.random import spawn_rng
+from repro.experiments.configs import ExperimentScale
+from repro.nn import make_driving_model
+from repro.sim.dataset import DrivingDataset, collect_fleet_datasets
+from repro.sim.evaluate import DrivingCondition, EvalConfig, success_rate
+from repro.sim.map import TownMap
+from repro.sim.traces import MobilityTraces, simulate_traces
+from repro.sim.world import World
+
+__all__ = [
+    "ExperimentContext",
+    "RunResult",
+    "METHOD_NAMES",
+    "build_context",
+    "make_nodes",
+    "make_trainer",
+    "run_method",
+    "online_evaluate",
+]
+
+METHOD_NAMES = (
+    "Local",
+    "ProxSkip",
+    "RSU-L",
+    "DFL-DDS",
+    "DP",
+    "LbChat",
+    "SCO",
+    "LbChat (equal comp.)",
+    "LbChat (avg. agg.)",
+    "LbChat (no priority)",
+)
+
+
+@dataclass
+class ExperimentContext:
+    """Method-independent world artifacts shared by all runs."""
+
+    scale: ExperimentScale
+    town: TownMap
+    datasets: dict[str, DrivingDataset]
+    validation: DrivingDataset
+    traces: MobilityTraces
+
+
+@dataclass
+class RunResult:
+    """Output of one method's collaborative-training run."""
+
+    method: str
+    trainer: TrainerBase
+    nodes: list[VehicleNode]
+
+    @property
+    def receive_rate(self) -> float:
+        """The run's §IV-C model-receive completion rate."""
+        return self.trainer.receive_rate.rate
+
+    def loss_curve(self, n_points: int = 21) -> tuple[np.ndarray, np.ndarray]:
+        """(grid, mean fleet validation loss) over the run."""
+        grid = np.linspace(0.0, self.trainer.config.duration, n_points)
+        return grid, self.trainer.loss_curve.mean_curve(grid)
+
+    def final_loss(self) -> float:
+        """Mean of each vehicle's final recorded loss."""
+        return self.trainer.loss_curve.final_mean()
+
+
+_context_cache: dict[str, ExperimentContext] = {}
+
+
+def build_context(scale: ExperimentScale) -> ExperimentContext:
+    """Collect datasets and traces for a scale (memoized per process)."""
+    if scale.name in _context_cache:
+        return _context_cache[scale.name]
+    world = World(scale.world)
+    raw = collect_fleet_datasets(
+        world, scale.collect_duration, scale.bev, n_waypoints=scale.n_waypoints
+    )
+    validation = DrivingDataset()
+    datasets: dict[str, DrivingDataset] = {}
+    stride = scale.validation_stride
+    for vid, dataset in sorted(raw.items()):
+        n = len(dataset)
+        validation.extend([dataset.frame(i) for i in range(0, n, stride)])
+        datasets[vid] = dataset.subset([i for i in range(n) if i % stride])
+    traces = simulate_traces(scale.world, scale.trace_duration)
+    context = ExperimentContext(
+        scale=scale, town=world.town, datasets=datasets, validation=validation, traces=traces
+    )
+    _context_cache[scale.name] = context
+    return context
+
+
+def make_nodes(context: ExperimentContext, seed: int = 1) -> list[VehicleNode]:
+    """Fresh nodes with identical model initializations (§II-A)."""
+    scale = context.scale
+    node_config = NodeConfig(
+        coreset_size=scale.coreset_size,
+        batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate,
+        penalty=scale.penalty,
+    )
+    nodes = []
+    for vid, dataset in sorted(context.datasets.items()):
+        model = make_driving_model(
+            context.scale.bev.shape,
+            scale.n_waypoints,
+            scale.hidden,
+            seed=scale.model_seed,
+        )
+        # Each node gets a *copy* of its dataset: trainers mutate them.
+        local = DrivingDataset(dataset.frames())
+        nodes.append(
+            VehicleNode(vid, model, local, node_config, spawn_rng(seed, f"node-{vid}"))
+        )
+    return nodes
+
+
+def _base_trainer_kwargs(scale: ExperimentScale, wireless: bool, seed: int) -> dict:
+    return dict(
+        duration=scale.train_duration,
+        train_interval=scale.train_interval,
+        record_interval=scale.record_interval,
+        wireless_loss=wireless,
+        seed=seed,
+    )
+
+
+def make_trainer(
+    method: str,
+    nodes: list[VehicleNode],
+    context: ExperimentContext,
+    wireless: bool = True,
+    seed: int = 1,
+    coreset_size: int | None = None,
+) -> TrainerBase:
+    """Instantiate any method by its paper name."""
+    scale = context.scale
+    kwargs = _base_trainer_kwargs(scale, wireless, seed)
+    traces, validation = context.traces, context.validation
+    if method == "Local":
+        from repro.baselines import LocalOnlyTrainer
+        from repro.core.trainer_base import TrainerConfig
+
+        return LocalOnlyTrainer(nodes, traces, validation, TrainerConfig(**kwargs))
+    if method == "ProxSkip":
+        return ProxSkipTrainer(nodes, traces, validation, ProxSkipConfig(**kwargs))
+    if method == "RSU-L":
+        # RSU radio range scaled to the map so that, like in the paper's
+        # 1 km world, vehicles regularly leave RSU coverage.
+        rsu_range = min(500.0, scale.world.map_size * 0.4)
+        return RsuLTrainer(
+            nodes, traces, validation, RsuLConfig(rsu_range=rsu_range, **kwargs)
+        )
+    if method == "DFL-DDS":
+        return DflDdsTrainer(nodes, traces, validation, DflDdsConfig(**kwargs))
+    if method == "DP":
+        return DpTrainer(nodes, traces, validation, DpConfig(**kwargs))
+    if method == "LbChat":
+        return LbChatTrainer(nodes, traces, validation, LbChatConfig(**kwargs))
+    if method == "SCO":
+        return ScoTrainer(nodes, traces, validation, LbChatConfig(**kwargs))
+    if method == "LbChat (equal comp.)":
+        return equal_compression_trainer(nodes, traces, validation, LbChatConfig(**kwargs))
+    if method == "LbChat (avg. agg.)":
+        return mean_aggregation_trainer(nodes, traces, validation, LbChatConfig(**kwargs))
+    if method == "LbChat (no priority)":
+        return no_prioritization_trainer(nodes, traces, validation, LbChatConfig(**kwargs))
+    raise ValueError(f"unknown method {method!r}; choose from {METHOD_NAMES}")
+
+
+def run_method(
+    context: ExperimentContext,
+    method: str,
+    wireless: bool = True,
+    seed: int = 1,
+    coreset_size: int | None = None,
+    coreset_strategy: str | None = None,
+    trainer_overrides: dict | None = None,
+) -> RunResult:
+    """Train one method on the shared context and return its results.
+
+    ``coreset_size`` overrides the scale's default (Table IV study);
+    ``coreset_strategy`` switches Algorithm 1 for a §V alternative;
+    ``trainer_overrides`` sets attributes on the trainer config (e.g.
+    ``{"lambda_c": 0.2}`` for Eq. 7 sensitivity studies).
+    """
+    nodes = make_nodes(context, seed=seed)
+    overrides = {}
+    if coreset_size is not None:
+        overrides["coreset_size"] = coreset_size
+    if coreset_strategy is not None:
+        overrides["coreset_strategy"] = coreset_strategy
+    if overrides:
+        for node in nodes:
+            node.config = replace(node.config, **overrides)
+            node.refresh_coreset()
+    trainer = make_trainer(method, nodes, context, wireless=wireless, seed=seed)
+    for key, value in (trainer_overrides or {}).items():
+        if not hasattr(trainer.config, key):
+            raise AttributeError(f"{method} config has no field {key!r}")
+        setattr(trainer.config, key, value)
+    trainer.run()
+    return RunResult(method=method, trainer=trainer, nodes=nodes)
+
+
+def select_eval_nodes(result: RunResult, context: ExperimentContext) -> list[VehicleNode]:
+    """The vehicles whose models get deployed: the fleet's median.
+
+    Fully decentralized methods leave mild quality variance across the
+    fleet; the paper deploys "the trained model" on a testing autopilot,
+    which we read as a *typical* vehicle.  Ranking by validation loss
+    and taking the middle ``eval_models`` nodes measures exactly that
+    (server-based methods are unaffected — their models are identical).
+    """
+    k = context.scale.eval_models
+    ranked = sorted(
+        result.nodes,
+        key=lambda node: node.evaluate(context.validation, with_penalty=False),
+    )
+    start = max((len(ranked) - k) // 2, 0)
+    return ranked[start : start + k]
+
+
+def online_evaluate(
+    result: RunResult,
+    context: ExperimentContext,
+    conditions: list[DrivingCondition] | None = None,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Deploy trained models on test routes; mean success rate (%) per condition.
+
+    Evaluates the fleet-median models (see :func:`select_eval_nodes`)
+    and averages their success rates.
+    """
+    scale = context.scale
+    conditions = conditions or list(DrivingCondition)
+    config = EvalConfig(
+        bev_spec=scale.bev,
+        n_waypoints=scale.n_waypoints,
+        normal_cars=scale.eval_normal_cars,
+        normal_pedestrians=scale.eval_normal_pedestrians,
+    )
+    out: dict[str, list[float]] = {cond.value: [] for cond in conditions}
+    for node in select_eval_nodes(result, context):
+        for cond in conditions:
+            rate = success_rate(
+                node.model, context.town, cond, scale.eval_trials, config, seed=seed
+            )
+            out[cond.value].append(100.0 * rate)
+    return {key: float(np.mean(values)) for key, values in out.items()}

@@ -1,0 +1,37 @@
+"""V2V wireless communication substrate.
+
+Implements the paper's communication model (§II-A, §IV-A): a
+distance-indexed wireless-loss lookup table in the style of Anwar et
+al.'s 802.11bd measurements, packet-level transfers (1500-byte packets,
+31 Mbps, up to three retransmissions), a 500 m communication range, and
+route-based estimation of contact durations and exchange-completion
+probabilities (§III-A).
+"""
+
+from repro.net.wireless import (
+    DEFAULT_LOSS_TABLE,
+    WirelessModel,
+)
+from repro.net.channel import ChannelConfig, TransferResult, simulate_transfer
+from repro.net.contact import (
+    ContactEstimate,
+    estimate_contact,
+    priority_score,
+)
+from repro.net.mac import ContentionTracker
+from repro.net.profiles import RADIO_PROFILES, RadioProfile, get_radio_profile
+
+__all__ = [
+    "ContentionTracker",
+    "RadioProfile",
+    "RADIO_PROFILES",
+    "get_radio_profile",
+    "DEFAULT_LOSS_TABLE",
+    "WirelessModel",
+    "ChannelConfig",
+    "TransferResult",
+    "simulate_transfer",
+    "ContactEstimate",
+    "estimate_contact",
+    "priority_score",
+]

@@ -1,0 +1,125 @@
+"""Medium-access contention: concurrent transfers share the channel.
+
+The default channel model treats every pairwise transfer as enjoying
+the full link bandwidth.  In a real CSMA-style V2V band, chats happening
+near each other contend for airtime: with ``k`` overlapping transfers
+in carrier-sense range, each gets roughly ``1/k`` of the medium.
+
+:class:`ContentionTracker` is an optional layer trainers can consult:
+transfers register their (time window, midpoint location), and the
+tracker answers "how many transfers overlapped this one?" so transfer
+times can be stretched accordingly.  It deliberately stays a
+post-processing estimate — packet-level CSMA simulation is far beyond
+what the paper models (its benchmarks all assume the same interference-
+free pairwise links), so this exists for sensitivity studies rather
+than the headline reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ActiveTransfer", "ContentionTracker"]
+
+
+@dataclass(frozen=True)
+class ActiveTransfer:
+    """One registered transfer window."""
+
+    transfer_id: int
+    start: float
+    end: float
+    location: np.ndarray  # (2,) midpoint of the communicating pair
+
+
+@dataclass
+class ContentionTracker:
+    """Tracks overlapping transfers within carrier-sense range.
+
+    Parameters
+    ----------
+    sense_range:
+        Transfers whose midpoints are within this distance contend.
+    """
+
+    sense_range: float = 500.0
+    _transfers: list[ActiveTransfer] = field(default_factory=list)
+    _next_id: int = 0
+
+    def register(self, start: float, end: float, location: np.ndarray) -> int:
+        """Record a transfer window; returns its id."""
+        if end < start:
+            raise ValueError(f"end {end} before start {start}")
+        transfer = ActiveTransfer(
+            self._next_id, float(start), float(end), np.asarray(location, dtype=float)
+        )
+        self._transfers.append(transfer)
+        self._next_id += 1
+        return transfer.transfer_id
+
+    def overlapping(self, transfer_id: int) -> list[ActiveTransfer]:
+        """Other transfers overlapping the given one in time and space."""
+        me = self._get(transfer_id)
+        out = []
+        for other in self._transfers:
+            if other.transfer_id == transfer_id:
+                continue
+            time_overlap = other.start < me.end and me.start < other.end
+            if not time_overlap:
+                continue
+            if np.linalg.norm(other.location - me.location) <= self.sense_range:
+                out.append(other)
+        return out
+
+    def contention_factor(self, transfer_id: int) -> float:
+        """Mean number of stations sharing the medium over the window.
+
+        1.0 means the transfer had the channel to itself; 2.0 means on
+        average one other transfer shared it (halving throughput).
+        Computed by integrating the overlap counts over the window.
+        """
+        me = self._get(transfer_id)
+        duration = me.end - me.start
+        if duration <= 0:
+            return 1.0
+        events = [me.start, me.end]
+        others = self.overlapping(transfer_id)
+        for other in others:
+            events.extend([max(other.start, me.start), min(other.end, me.end)])
+        events = sorted(set(events))
+        weighted = 0.0
+        for left, right in zip(events, events[1:]):
+            mid = 0.5 * (left + right)
+            count = 1 + sum(1 for o in others if o.start <= mid < o.end)
+            weighted += count * (right - left)
+        return weighted / duration
+
+    def stretched_duration(self, transfer_id: int) -> float:
+        """The transfer's airtime under fair channel sharing."""
+        me = self._get(transfer_id)
+        return (me.end - me.start) * self.contention_factor(transfer_id)
+
+    def busiest_moment(self) -> tuple[float, int]:
+        """(time, concurrent transfer count) at the peak of contention."""
+        if not self._transfers:
+            return (0.0, 0)
+        events = sorted({t.start for t in self._transfers} | {t.end for t in self._transfers})
+        best_time, best_count = events[0], 0
+        for left, right in zip(events, events[1:]):
+            mid = 0.5 * (left + right)
+            count = sum(1 for t in self._transfers if t.start <= mid < t.end)
+            if count > best_count:
+                best_time, best_count = mid, count
+        return (best_time, best_count)
+
+    def clear(self) -> None:
+        """Forget every registered transfer."""
+        self._transfers.clear()
+
+    def _get(self, transfer_id: int) -> ActiveTransfer:
+        for transfer in self._transfers:
+            if transfer.transfer_id == transfer_id:
+                return transfer
+        raise KeyError(f"unknown transfer id {transfer_id}")

@@ -1,0 +1,94 @@
+"""Radio profiles (§V, "Other radios suitable for vehicles").
+
+The paper evaluates an 802.11bd-style V2V link but notes NR-V2X and
+recent data-centric radios (high-rate, low-loss, multicast-capable) as
+promising alternatives.  A :class:`RadioProfile` bundles a loss table,
+bandwidth, and range so experiments can swap the physical layer with
+one argument; the data-centric profile additionally advertises multicast
+delivery, which the LbChat trainer can exploit to broadcast a coreset to
+several neighbors at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.channel import ChannelConfig
+from repro.net.wireless import DEFAULT_LOSS_TABLE, WirelessModel
+
+__all__ = ["RadioProfile", "RADIO_PROFILES", "get_radio_profile"]
+
+
+@dataclass(frozen=True)
+class RadioProfile:
+    """A named physical-layer configuration."""
+
+    name: str
+    bandwidth_bps: float
+    max_range: float
+    loss_table: tuple[tuple[float, float], ...]
+    supports_multicast: bool = False
+
+    def wireless(self, enabled: bool = True) -> WirelessModel:
+        """Build this profile's loss model (optionally disabled)."""
+        return WirelessModel(
+            table=self.loss_table, max_range=self.max_range, enabled=enabled
+        )
+
+    def channel(self, **overrides) -> ChannelConfig:
+        """Build a channel config at this profile's bandwidth."""
+        return ChannelConfig(bandwidth_bps=self.bandwidth_bps, **overrides)
+
+
+#: 802.11bd-style baseline — the paper's evaluation setting (§IV-A).
+IEEE_80211BD = RadioProfile(
+    name="802.11bd",
+    bandwidth_bps=31e6,
+    max_range=500.0,
+    loss_table=DEFAULT_LOSS_TABLE,
+)
+
+#: NR-V2X (3GPP rel-16-ish): more bandwidth, better coding at range.
+NR_V2X = RadioProfile(
+    name="nr-v2x",
+    bandwidth_bps=50e6,
+    max_range=600.0,
+    loss_table=(
+        (50.0, 0.005),
+        (100.0, 0.015),
+        (200.0, 0.04),
+        (300.0, 0.09),
+        (400.0, 0.18),
+        (500.0, 0.33),
+        (600.0, 0.55),
+    ),
+)
+
+#: Data-centric pub/sub radio (Elbadry et al.): robust multicast.
+DATA_CENTRIC = RadioProfile(
+    name="data-centric",
+    bandwidth_bps=40e6,
+    max_range=450.0,
+    loss_table=(
+        (100.0, 0.01),
+        (200.0, 0.03),
+        (300.0, 0.07),
+        (400.0, 0.15),
+        (450.0, 0.25),
+    ),
+    supports_multicast=True,
+)
+
+RADIO_PROFILES = {
+    profile.name: profile for profile in (IEEE_80211BD, NR_V2X, DATA_CENTRIC)
+}
+
+
+def get_radio_profile(name: str) -> RadioProfile:
+    """Look up a radio profile by name."""
+    try:
+        return RADIO_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown radio profile {name!r}; choose from {sorted(RADIO_PROFILES)}"
+        ) from None

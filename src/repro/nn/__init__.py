@@ -1,0 +1,60 @@
+"""A small, from-scratch neural-network library on numpy.
+
+This package stands in for PyTorch: it provides exactly what the LbChat
+algorithm needs from a learner — per-sample losses, minibatch gradient
+training, and a flat parameter vector that can be sparsified, shipped to
+a peer, and averaged.
+
+Layers implement explicit ``forward``/``backward`` passes (no autograd
+tape); models are :class:`~repro.nn.layers.Sequential` stacks plus the
+command-branched :class:`~repro.nn.model.WaypointNet` used for the
+BEV-based driving decision task.
+"""
+
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from repro.nn.losses import (
+    l1_loss,
+    mse_loss,
+    softmax_cross_entropy,
+    waypoint_l1,
+)
+from repro.nn.model import WaypointNet, make_driving_model
+from repro.nn.optim import SGD, Adam
+from repro.nn.params import (
+    Parameter,
+    clone_model,
+    get_flat_params,
+    num_params,
+    set_flat_params,
+)
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "Sequential",
+    "WaypointNet",
+    "make_driving_model",
+    "l1_loss",
+    "mse_loss",
+    "waypoint_l1",
+    "softmax_cross_entropy",
+    "SGD",
+    "Adam",
+    "Parameter",
+    "get_flat_params",
+    "set_flat_params",
+    "clone_model",
+    "num_params",
+]

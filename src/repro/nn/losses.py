@@ -1,0 +1,78 @@
+"""Loss functions returning per-sample values and gradients.
+
+LbChat repeatedly needs *per-sample* losses (coreset layering, Eq. 6,
+Eq. 8), so every loss here returns a ``(batch,)`` vector; reductions are
+left to the caller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse_loss", "l1_loss", "waypoint_l1", "softmax_cross_entropy"]
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Mean squared error per sample.
+
+    Returns ``(loss_per_sample, grad_wrt_pred)`` where the gradient is of
+    the *mean over the batch* so it feeds straight into ``backward``.
+    """
+    diff = pred - target
+    per_sample = (diff**2).reshape(diff.shape[0], -1).mean(axis=1)
+    grad = 2.0 * diff / (diff[0].size * diff.shape[0])
+    return per_sample, grad
+
+
+def l1_loss(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Mean absolute error per sample, with batch-mean gradient."""
+    diff = pred - target
+    per_sample = np.abs(diff).reshape(diff.shape[0], -1).mean(axis=1)
+    grad = np.sign(diff) / (diff[0].size * diff.shape[0])
+    return per_sample, grad
+
+
+def waypoint_l1(
+    pred: np.ndarray, target: np.ndarray, weights: np.ndarray | None = None
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Weighted L1 loss over predicted waypoints.
+
+    Parameters
+    ----------
+    pred, target:
+        ``(batch, n_waypoints * 2)`` flattened waypoint offsets.
+    weights:
+        Optional per-sample weights (coreset weights ``w_C(d)`` or data
+        weights ``w(d)``).  Normalized internally so the scalar loss is a
+        weighted mean.
+
+    Returns
+    -------
+    (scalar_loss, per_sample_loss, grad_wrt_pred)
+    """
+    diff = pred - target
+    per_sample = np.abs(diff).mean(axis=1)
+    if weights is None:
+        weights = np.ones(pred.shape[0])
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must have positive sum")
+    norm = weights / total
+    scalar = float(per_sample @ norm)
+    grad = np.sign(diff) * (norm[:, None] / diff.shape[1])
+    return scalar, per_sample, grad.astype(pred.dtype)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cross-entropy per sample with integer labels, batch-mean gradient."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    batch = logits.shape[0]
+    per_sample = -np.log(np.clip(probs[np.arange(batch), labels], 1e-12, None))
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return per_sample, grad / batch

@@ -1,0 +1,87 @@
+"""Optimizers over :class:`~repro.nn.params.Parameter` lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.params import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive: {lr}")
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in params]
+
+    def step(self) -> None:
+        """Apply one (momentum) SGD update from accumulated grads."""
+        for p, vel in zip(self.params, self._velocity):
+            if self.momentum:
+                vel *= self.momentum
+                vel += p.grad
+                p.data -= self.lr * vel
+            else:
+                p.data -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction.
+
+    The paper trains the driving model with lr 1e-4, the default here.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive: {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative: {weight_decay}")
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+
+    def step(self) -> None:
+        """Apply one bias-corrected Adam update (plus optional decay)."""
+        self._step += 1
+        bc1 = 1.0 - self.beta1**self._step
+        bc2 = 1.0 - self.beta2**self._step
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (p.grad**2)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                # Decoupled (AdamW-style) decay — the training-time face
+                # of Eq. 6's structural-risk term.
+                p.data -= self.lr * self.weight_decay * p.data
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on all managed parameters."""
+        for p in self.params:
+            p.zero_grad()

@@ -1,0 +1,74 @@
+"""Learning-rate schedulers and gradient clipping.
+
+Small utilities layered over the optimizers: step decay and cosine
+annealing schedules (wrapping any optimizer with an ``lr`` attribute),
+and global-norm gradient clipping, commonly used when merged models
+inject sudden parameter shifts into an Adam state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.params import Parameter
+
+__all__ = ["StepLR", "CosineLR", "clip_grad_norm"]
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer, step_size: int, gamma: float = 0.5):
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1: {step_size}")
+        if not 0 < gamma <= 1:
+            raise ValueError(f"gamma must lie in (0, 1]: {gamma}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self._steps = 0
+
+    def step(self) -> float:
+        """Advance one training step; returns the updated lr."""
+        self._steps += 1
+        decays = self._steps // self.step_size
+        self.optimizer.lr = self.base_lr * self.gamma**decays
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine annealing from the base lr to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer, total_steps: int, min_lr: float = 0.0):
+        if total_steps < 1:
+            raise ValueError(f"total_steps must be >= 1: {total_steps}")
+        self.optimizer = optimizer
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self._steps = 0
+
+    def step(self) -> float:
+        """Advance one training step; returns the updated lr."""
+        self._steps = min(self._steps + 1, self.total_steps)
+        progress = self._steps / self.total_steps
+        self.optimizer.lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + np.cos(np.pi * progress)
+        )
+        return self.optimizer.lr
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive: {max_norm}")
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return total

@@ -1,0 +1,264 @@
+"""Driving controllers: the expert autopilot and the model-driven pilot.
+
+The expert mirrors CARLA's built-in autopilot: it uses privileged
+information (exact route geometry, exact positions of all other agents)
+to drive safely — pure-pursuit steering, speed limits through turns, and
+hard braking for obstacles in its path.  Its trajectories are the
+imitation targets.
+
+The model pilot drives from the learned :class:`~repro.nn.model.WaypointNet`
+alone: every decision interval it renders a BEV, queries the network for
+waypoints, and then steers/accelerates to track them.  Driving quality
+therefore reflects model quality, which is what the online evaluation
+(driving success rate) measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.geometry import to_vehicle_frame
+from repro.sim.kinematics import MAX_TURN_RATE, VehicleState
+from repro.sim.router import CMD_FOLLOW, RoutePlan
+
+__all__ = ["ExpertAutopilot", "ModelPilot", "CRUISE_SPEED", "TURN_SPEED"]
+
+CRUISE_SPEED = 12.0  # m/s on open road
+TURN_SPEED = 5.5  # m/s approaching/inside turns
+LANE_OFFSET = 2.0  # m right of centerline (right-hand traffic)
+_STEER_GAIN = 2.2
+_SPEED_GAIN = 1.8
+_OBSTACLE_LANE_HALF_WIDTH = 2.6
+_INTERSECTION_SLOW_DISTANCE = 14.0
+
+
+class ExpertAutopilot:
+    """Privileged rule-based driver following a :class:`RoutePlan`."""
+
+    def __init__(self, plan: RoutePlan, lane_offset: float = LANE_OFFSET):
+        self.plan = plan
+        self.lane_offset = lane_offset
+        self._s = 0.0
+        self._stopped_time = 0.0
+        self._creep_time_left = 0.0
+
+    @property
+    def route_progress(self) -> float:
+        """Current arc-length position along the route."""
+        return self._s
+
+    def command(self) -> int:
+        """The high-level command active at the current route position."""
+        return self.plan.command_at(self._s)
+
+    def done(self) -> bool:
+        """Whether the route end has been reached."""
+        return self.plan.done(self._s)
+
+    def control(
+        self, state: VehicleState, obstacles: np.ndarray, dt: float = 0.1
+    ) -> tuple[float, float]:
+        """Compute (turn_rate, accel) for one step.
+
+        ``obstacles`` is an ``(n, 2)`` array of other agents' positions
+        (the privileged information CARLA experts enjoy).
+        """
+        self._s = self.plan.project(state.position, hint=self._s)
+        if state.speed < 0.3:
+            self._stopped_time += dt
+        else:
+            self._stopped_time = 0.0
+        # Pure pursuit toward a speed-scaled lookahead point on the
+        # right-hand lane line.
+        lookahead = max(5.0, 0.9 * state.speed)
+        target = self.plan.lane_point_at(self._s + lookahead, self.lane_offset)
+        local = to_vehicle_frame(target[None, :], state.position, state.heading)[0]
+        heading_error = float(np.arctan2(local[1], max(local[0], 1e-3)))
+        turn_rate = float(np.clip(_STEER_GAIN * heading_error, -MAX_TURN_RATE, MAX_TURN_RATE))
+
+        near_intersection = (
+            self.plan.distance_to_intersection(self._s) < _INTERSECTION_SLOW_DISTANCE
+        )
+        if near_intersection or self.command() != CMD_FOLLOW:
+            target_speed = TURN_SPEED
+        else:
+            target_speed = CRUISE_SPEED
+        # Slow down proportionally to how hard we are turning.
+        target_speed *= max(0.35, 1.0 - abs(heading_error) * 1.2)
+        # Deadlock breaking: after being stopped a while, negotiate past
+        # the blocker with a narrow corridor at creep speed (real drivers
+        # edge around a standoff rather than waiting forever).  Creep is
+        # sticky for a few seconds so it survives the first meter of
+        # motion instead of flapping back to a full stop.
+        if self._stopped_time > 6.0:
+            self._creep_time_left = 5.0
+        creeping = self._creep_time_left > 0.0
+        if creeping:
+            self._creep_time_left -= dt
+        limit = self._obstacle_speed_limit(
+            state, obstacles, wide=near_intersection and not creeping, narrow=creeping
+        )
+        if creeping:
+            if limit <= 0.0:
+                # Hard-blocked dead ahead: edge around the blocker on its
+                # freer side at walking pace.
+                limit = 1.2
+                turn_rate = float(
+                    np.clip(
+                        turn_rate - np.sign(self._blocker_side(state, obstacles)) * 0.5,
+                        -MAX_TURN_RATE,
+                        MAX_TURN_RATE,
+                    )
+                )
+            else:
+                limit = max(limit, 2.0)
+        target_speed = min(target_speed, limit)
+        accel = _SPEED_GAIN * (target_speed - state.speed)
+        return turn_rate, float(accel)
+
+    def _blocker_side(self, state: VehicleState, obstacles: np.ndarray) -> float:
+        """Lateral sign of the nearest obstacle ahead (+1 left, -1 right).
+
+        Used while creeping to pick which way to edge around a blocker;
+        0 when nothing is ahead.
+        """
+        if len(obstacles) == 0:
+            return 0.0
+        local = to_vehicle_frame(obstacles, state.position, state.heading)
+        ahead = local[(local[:, 0] > 0.0) & (local[:, 0] < 8.0)]
+        if len(ahead) == 0:
+            return 0.0
+        nearest = ahead[np.argmin(ahead[:, 0])]
+        if nearest[1] == 0.0:
+            return 1.0  # dead center: arbitrarily pass on the right
+        return float(np.sign(nearest[1]))
+
+    def _obstacle_speed_limit(
+        self,
+        state: VehicleState,
+        obstacles: np.ndarray,
+        wide: bool = False,
+        narrow: bool = False,
+    ) -> float:
+        """Speed cap from the nearest obstacle in the driving corridor.
+
+        ``wide`` broadens the watched corridor (intersection approach,
+        where cross traffic enters from the side); ``narrow`` shrinks it
+        for deadlock-breaking creep.
+        """
+        if len(obstacles) == 0:
+            return np.inf
+        local = to_vehicle_frame(obstacles, state.position, state.heading)
+        horizon = 6.0 + 1.6 * state.speed
+        half_width = _OBSTACLE_LANE_HALF_WIDTH
+        if wide:
+            half_width += 2.0
+        if narrow:
+            half_width = 1.6
+        stop_gap = 3.5 if narrow else 6.0
+        in_corridor = (
+            (local[:, 0] > 0.5)
+            & (local[:, 0] < horizon)
+            & (np.abs(local[:, 1]) < half_width)
+        )
+        if not in_corridor.any():
+            return np.inf
+        gap = float(local[in_corridor, 0].min())
+        # Full stop inside the stop gap, linear ramp back to cruise.
+        if gap < stop_gap:
+            return 0.0
+        return CRUISE_SPEED * (gap - stop_gap) / max(horizon - stop_gap, 1e-6)
+
+
+class ModelPilot:
+    """Drives from learned waypoints; no privileged obstacle access.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.nn.model.WaypointNet`.
+    plan:
+        The navigation route (supplies the high-level command and the
+        BEV route channel — exactly what a navigation service provides).
+    bev_fn:
+        Callable ``(state, plan) -> bev`` rendering the current BEV
+        observation; injected so the pilot stays decoupled from world
+        internals.
+    waypoint_interval:
+        Time spacing of the model's waypoints in seconds.
+    decision_interval:
+        How often the model is queried (paper collects/acts at 2 fps).
+    """
+
+    def __init__(
+        self,
+        model,
+        plan: RoutePlan,
+        bev_fn,
+        waypoint_interval: float = 0.5,
+        decision_interval: float = 0.5,
+    ):
+        self.model = model
+        self.plan = plan
+        self._bev_fn = bev_fn
+        self.waypoint_interval = waypoint_interval
+        self.decision_interval = decision_interval
+        self._s = 0.0
+        self._since_decision = np.inf  # force a decision on first step
+        self._waypoints: np.ndarray | None = None  # vehicle-frame at decision time
+        self._decision_state: VehicleState | None = None
+
+    @property
+    def route_progress(self) -> float:
+        """Current arc-length position along the route."""
+        return self._s
+
+    def done(self) -> bool:
+        """Whether the route end has been reached."""
+        return self.plan.done(self._s)
+
+    def control(self, state: VehicleState, dt: float) -> tuple[float, float]:
+        """Compute (turn_rate, accel) for one step of length ``dt``."""
+        self._s = self.plan.project(state.position, hint=self._s)
+        self._since_decision += dt
+        if self._since_decision >= self.decision_interval or self._waypoints is None:
+            self._decide(state)
+            self._since_decision = 0.0
+        assert self._waypoints is not None and self._decision_state is not None
+        # Re-express the cached waypoints in the *current* vehicle frame.
+        from repro.sim.geometry import to_world_frame
+
+        world_wp = to_world_frame(
+            self._waypoints, self._decision_state.position, self._decision_state.heading
+        )
+        local_wp = to_vehicle_frame(world_wp, state.position, state.heading)
+
+        # Steering: pursue the first waypoint far enough ahead that small
+        # prediction noise does not whip the steering around (same
+        # speed-scaled lookahead philosophy as the expert).
+        lookahead = max(4.0, 0.8 * state.speed)
+        dist = np.linalg.norm(local_wp, axis=1)
+        ahead = np.where(dist >= lookahead)[0]
+        target = local_wp[ahead[0]] if len(ahead) else local_wp[-1]
+        heading_error = float(np.arctan2(target[1], max(target[0], 1e-3)))
+        turn_rate = float(np.clip(_STEER_GAIN * heading_error, -MAX_TURN_RATE, MAX_TURN_RATE))
+
+        # Speed: implied by the spacing of consecutive predicted
+        # waypoints.  Taking the minimum over the first half of the
+        # horizon makes braking reactive: when the expert would be
+        # slowing for an obstacle, the near-term waypoints compress and
+        # the pilot brakes immediately instead of averaging it away.
+        chain = np.vstack([[0.0, 0.0], self._waypoints])
+        spacing = np.linalg.norm(np.diff(chain, axis=0), axis=1)
+        near_term = spacing[: max(len(spacing) // 2, 1)]
+        implied = min(float(near_term.min()), float(spacing.mean()))
+        target_speed = float(np.clip(implied / self.waypoint_interval, 0.0, CRUISE_SPEED))
+        accel = _SPEED_GAIN * (target_speed - state.speed)
+        return turn_rate, float(accel)
+
+    def _decide(self, state: VehicleState) -> None:
+        bev = self._bev_fn(state, self.plan)
+        command = self.plan.command_at(self._s)
+        pred = self.model.forward(bev[None, ...], np.array([command]))
+        self._waypoints = pred[0].reshape(-1, 2).astype(float)
+        self._decision_state = state.copy()

@@ -1,0 +1,126 @@
+"""Bird's-eye-view rasterization.
+
+The BEV is the model input the paper uses: a sparse, privacy-friendly
+top-down tensor of the vehicle's surroundings.  Channels:
+
+0. road        — paved surface occupancy
+1. route       — the navigation route to follow
+2. vehicles    — other cars
+3. pedestrians — pedestrians
+4. speed       — ego speed as a constant plane (normalized)
+
+The grid is in the vehicle frame with +x (forward) spanning rows and +y
+(left) spanning columns; the ego sits near the rear edge so most of the
+field of view is ahead, matching the paper's "front view ... in a
+top-down view".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.autopilot import CRUISE_SPEED
+from repro.sim.geometry import to_world_frame
+from repro.sim.kinematics import VehicleState
+from repro.sim.map import TownMap
+from repro.sim.router import RoutePlan
+
+__all__ = ["BevSpec", "render_bev"]
+
+N_BEV_CHANNELS = 5
+
+
+@dataclass(frozen=True)
+class BevSpec:
+    """Geometry of the BEV grid.
+
+    ``grid`` cells per side, each ``cell`` meters; the ego is positioned
+    ``back_fraction`` of the way up from the grid's rear edge.
+    """
+
+    grid: int = 16
+    cell: float = 2.5
+    back_fraction: float = 0.2
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """The `(channels, grid, grid)` tensor shape."""
+        return (N_BEV_CHANNELS, self.grid, self.grid)
+
+    def cell_centers(self) -> np.ndarray:
+        """Vehicle-frame centers of all cells, shape ``(grid*grid, 2)``.
+
+        Row i runs along +x (forward), column j along +y (left).
+        """
+        extent = self.grid * self.cell
+        x0 = -self.back_fraction * extent
+        xs = x0 + (np.arange(self.grid) + 0.5) * self.cell
+        ys = -extent / 2.0 + (np.arange(self.grid) + 0.5) * self.cell
+        xx, yy = np.meshgrid(xs, ys, indexing="ij")
+        return np.stack([xx.ravel(), yy.ravel()], axis=1)
+
+    def local_to_index(self, local_points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map vehicle-frame points to (row, col) indices plus a validity mask."""
+        extent = self.grid * self.cell
+        x0 = -self.back_fraction * extent
+        rows = np.floor((local_points[:, 0] - x0) / self.cell).astype(int)
+        cols = np.floor((local_points[:, 1] + extent / 2.0) / self.cell).astype(int)
+        valid = (rows >= 0) & (rows < self.grid) & (cols >= 0) & (cols < self.grid)
+        return np.stack([rows, cols], axis=1), valid
+
+
+def _route_cells(plan: RoutePlan, cell: float) -> set[tuple[int, int]]:
+    """Per-plan cached set of map-grid cells the route passes through."""
+    cache = getattr(plan, "_bev_route_cells", None)
+    if cache is None or cache[0] != cell:
+        cache = (cell, plan.route_cells(cell))
+        plan._bev_route_cells = cache  # type: ignore[attr-defined]
+    return cache[1]
+
+
+def render_bev(
+    town: TownMap,
+    spec: BevSpec,
+    state: VehicleState,
+    plan: RoutePlan,
+    car_positions: np.ndarray,
+    pedestrian_positions: np.ndarray,
+) -> np.ndarray:
+    """Render the 5-channel BEV tensor for one vehicle.
+
+    ``car_positions`` / ``pedestrian_positions`` are ``(n, 2)`` world
+    coordinates of *other* agents (the ego must not be included).
+    """
+    bev = np.zeros(spec.shape, dtype=np.float32)
+    centers_local = spec.cell_centers()
+    centers_world = to_world_frame(centers_local, state.position, state.heading)
+
+    # Channel 0: road occupancy via the map's static grid.
+    road = town.occupancy_at(centers_world).reshape(spec.grid, spec.grid)
+    bev[0] = road
+
+    # Channel 1: route cells.
+    cells = _route_cells(plan, town.cell)
+    idx = np.floor(centers_world / town.cell).astype(int)
+    on_route = np.fromiter(
+        ((int(i), int(j)) in cells for i, j in idx), dtype=bool, count=len(idx)
+    )
+    bev[1] = on_route.reshape(spec.grid, spec.grid)
+
+    # Channels 2-3: dynamic agents.
+    for channel, positions in ((2, car_positions), (3, pedestrian_positions)):
+        positions = np.asarray(positions, dtype=float).reshape(-1, 2)
+        if len(positions) == 0:
+            continue
+        from repro.sim.geometry import to_vehicle_frame
+
+        local = to_vehicle_frame(positions, state.position, state.heading)
+        rc, valid = spec.local_to_index(local)
+        rc = rc[valid]
+        bev[channel, rc[:, 0], rc[:, 1]] = 1.0
+
+    # Channel 4: normalized ego speed plane.
+    bev[4] = np.clip(state.speed / CRUISE_SPEED, 0.0, 1.5)
+    return bev

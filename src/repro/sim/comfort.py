@@ -1,0 +1,89 @@
+"""Driving comfort metrics (§IV-D notes them as future evaluation work).
+
+The paper measures only the safety-centric success rate and explicitly
+defers comfort; this module supplies the standard comfort measures over
+a recorded episode trajectory so the evaluation can be extended:
+
+* longitudinal acceleration / deceleration extremes,
+* jerk (rate of change of acceleration) RMS,
+* lateral acceleration (v * yaw-rate) extremes,
+* speed smoothness (std of speed).
+
+A :func:`comfort_score` folds them into one 0-100 scalar with
+conventional comfort thresholds (≈2 m/s² accel, ≈0.9 m/s³ jerk feel
+comfortable; beyond ≈5 m/s² / 2 m/s³ is clearly not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ComfortMetrics", "compute_comfort", "comfort_score"]
+
+
+@dataclass(frozen=True)
+class ComfortMetrics:
+    """Aggregates of one trajectory; all SI units."""
+
+    max_acceleration: float
+    max_deceleration: float  # positive magnitude
+    jerk_rms: float
+    max_lateral_acceleration: float
+    speed_std: float
+    duration: float
+
+
+def compute_comfort(trajectory: np.ndarray, dt: float) -> ComfortMetrics:
+    """Compute comfort metrics from an ``(n, 4)`` trajectory.
+
+    Columns are ``(x, y, heading, speed)`` sampled every ``dt`` seconds
+    (what :func:`repro.sim.evaluate.run_episode` records with
+    ``record_trajectory=True``).
+    """
+    trajectory = np.asarray(trajectory, dtype=float)
+    if trajectory.ndim != 2 or trajectory.shape[1] != 4:
+        raise ValueError(f"trajectory must be (n, 4), got {trajectory.shape}")
+    if len(trajectory) < 3:
+        raise ValueError("need at least three samples")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive: {dt}")
+    speed = trajectory[:, 3]
+    heading = trajectory[:, 2]
+    accel = np.diff(speed) / dt
+    jerk = np.diff(accel) / dt
+    yaw_rate = np.diff(np.unwrap(heading)) / dt
+    lateral = np.abs(speed[1:] * yaw_rate)
+    return ComfortMetrics(
+        max_acceleration=float(accel.max(initial=0.0)),
+        max_deceleration=float(-accel.min(initial=0.0)),
+        jerk_rms=float(np.sqrt(np.mean(jerk**2))) if len(jerk) else 0.0,
+        max_lateral_acceleration=float(lateral.max(initial=0.0)),
+        speed_std=float(speed.std()),
+        duration=float((len(trajectory) - 1) * dt),
+    )
+
+
+def comfort_score(metrics: ComfortMetrics) -> float:
+    """Fold the metrics into a 0-100 comfort score (higher = smoother).
+
+    Each component maps through a soft penalty normalized by its
+    comfortable/uncomfortable thresholds; the score is 100 minus the
+    mean penalty.
+    """
+
+    def penalty(value: float, comfortable: float, harsh: float) -> float:
+        if value <= comfortable:
+            return 0.0
+        if value >= harsh:
+            return 1.0
+        return (value - comfortable) / (harsh - comfortable)
+
+    penalties = [
+        penalty(metrics.max_acceleration, 2.0, 5.0),
+        penalty(metrics.max_deceleration, 2.5, 6.0),
+        penalty(metrics.jerk_rms, 0.9, 2.5),
+        penalty(metrics.max_lateral_acceleration, 1.8, 4.0),
+    ]
+    return float(100.0 * (1.0 - np.mean(penalties)))

@@ -1,0 +1,223 @@
+"""Driving frame datasets for imitation learning.
+
+A *frame* is one training sample: the BEV observation, the active
+high-level command, and the expert's future waypoints in the vehicle
+frame.  A :class:`DrivingDataset` is an array-backed weighted collection
+of frames supporting everything LbChat needs: weighted minibatch
+sampling, per-sample loss evaluation hooks, absorption of received
+coresets, and per-command statistics (for the Eq. 6 entropy penalty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.model import N_COMMANDS
+from repro.sim.bev import BevSpec, render_bev
+from repro.sim.geometry import to_vehicle_frame
+from repro.sim.world import World
+
+__all__ = ["Frame", "DrivingDataset", "collect_fleet_datasets"]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One imitation-learning sample."""
+
+    frame_id: str
+    bev: np.ndarray  # (C, H, W) float32
+    command: int
+    waypoints: np.ndarray  # (2 * n_waypoints,) float32, vehicle frame
+    weight: float = 1.0
+
+
+class DrivingDataset:
+    """Weighted, array-backed collection of frames."""
+
+    def __init__(self, frames: list[Frame] | None = None):
+        self._ids: list[str] = []
+        self._id_set: set[str] = set()
+        self._bev: list[np.ndarray] = []
+        self._commands: list[int] = []
+        self._targets: list[np.ndarray] = []
+        self._weights: list[float] = []
+        for frame in frames or []:
+            self.add(frame)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def add(self, frame: Frame) -> None:
+        """Append a frame; duplicate ids are silently skipped.
+
+        Duplicate skipping makes coreset absorption idempotent — a
+        vehicle may receive overlapping coresets from repeat encounters.
+        """
+        if frame.frame_id in self._id_set:
+            return
+        self._id_set.add(frame.frame_id)
+        self._ids.append(frame.frame_id)
+        self._bev.append(np.asarray(frame.bev, dtype=np.float32))
+        self._commands.append(int(frame.command))
+        self._targets.append(np.asarray(frame.waypoints, dtype=np.float32).ravel())
+        self._weights.append(float(frame.weight))
+
+    def extend(self, frames: list[Frame]) -> None:
+        """Append several frames (duplicates skipped by id)."""
+        for frame in frames:
+            self.add(frame)
+
+    # -- array views ---------------------------------------------------------
+
+    @property
+    def ids(self) -> list[str]:
+        """Frame ids in insertion order (a copy)."""
+        return list(self._ids)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(bev, commands, targets, weights) as stacked arrays."""
+        if not self._ids:
+            raise ValueError("dataset is empty")
+        return (
+            np.stack(self._bev),
+            np.asarray(self._commands, dtype=np.int64),
+            np.stack(self._targets),
+            np.asarray(self._weights, dtype=np.float64),
+        )
+
+    def frame(self, index: int) -> Frame:
+        """Materialize the i-th frame as a Frame object."""
+        return Frame(
+            frame_id=self._ids[index],
+            bev=self._bev[index],
+            command=self._commands[index],
+            waypoints=self._targets[index],
+            weight=self._weights[index],
+        )
+
+    def frames(self) -> list[Frame]:
+        """All frames as Frame objects."""
+        return [self.frame(i) for i in range(len(self))]
+
+    def subset(self, indices: np.ndarray | list[int]) -> "DrivingDataset":
+        """A new dataset holding only the given indices."""
+        return DrivingDataset([self.frame(int(i)) for i in indices])
+
+    def with_weights(self, weights: np.ndarray) -> "DrivingDataset":
+        """Copy with replaced per-frame weights."""
+        if len(weights) != len(self):
+            raise ValueError(f"{len(weights)} weights for {len(self)} frames")
+        return DrivingDataset(
+            [
+                Frame(f.frame_id, f.bev, f.command, f.waypoints, float(w))
+                for f, w in zip(self.frames(), weights)
+            ]
+        )
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-frame weights as an array."""
+        return np.asarray(self._weights, dtype=np.float64)
+
+    def total_weight(self) -> float:
+        """Sum of all frame weights."""
+        return float(sum(self._weights))
+
+    def command_counts(self) -> np.ndarray:
+        """Frame counts per high-level command, shape ``(N_COMMANDS,)``."""
+        counts = np.zeros(N_COMMANDS, dtype=np.int64)
+        for cmd in self._commands:
+            counts[cmd] += 1
+        return counts
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample_batch(
+        self,
+        batch_size: int,
+        rng: np.random.Generator,
+        balance_commands: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Weighted random minibatch: (bev, commands, targets, indices).
+
+        With ``balance_commands`` the batch is stratified uniformly over
+        the commands present in the dataset (the standard trick for
+        command-branched imitation models — rare branches like 'turn
+        left' would otherwise starve), sampling by weight within each
+        command.
+        """
+        if not self._ids:
+            raise ValueError("cannot sample from an empty dataset")
+        weights = self.weights
+        n = min(batch_size, len(self))
+        if balance_commands:
+            commands_arr = np.asarray(self._commands)
+            present = np.unique(commands_arr)
+            picks: list[int] = []
+            for k, cmd in enumerate(present):
+                members = np.where(commands_arr == cmd)[0]
+                quota = n // len(present) + (1 if k < n % len(present) else 0)
+                probs = weights[members] / weights[members].sum()
+                picks.extend(
+                    rng.choice(members, size=quota, replace=True, p=probs).tolist()
+                )
+            idx = np.asarray(picks)
+        else:
+            probs = weights / weights.sum()
+            idx = rng.choice(len(self), size=n, replace=len(self) < batch_size, p=probs)
+        bev, commands, targets, _ = self.arrays()
+        return bev[idx], commands[idx], targets[idx], idx
+
+
+def collect_fleet_datasets(
+    world: World,
+    duration: float,
+    bev_spec: BevSpec,
+    n_waypoints: int = 5,
+    waypoint_interval: float = 0.5,
+) -> dict[str, DrivingDataset]:
+    """Run the world and build each vehicle's local dataset.
+
+    The world is stepped for ``duration`` plus the waypoint horizon (the
+    last frames need future positions for their targets), then frames
+    are assembled offline from the recorded snapshots, mirroring how a
+    real vehicle would label frames once the future is known.
+    """
+    snap_dt = world.config.snapshot_interval
+    stride = max(int(round(waypoint_interval / snap_dt)), 1)
+    horizon = n_waypoints * stride
+    world.run(duration + horizon * snap_dt + snap_dt)
+    snapshots = world.snapshots
+    datasets: dict[str, DrivingDataset] = {
+        v.vehicle_id: DrivingDataset() for v in world.vehicles
+    }
+    n_usable = len(snapshots) - horizon
+    for k in range(max(n_usable, 0)):
+        snap = snapshots[k]
+        for vehicle_id, state in snap.vehicle_states.items():
+            future = np.array(
+                [
+                    snapshots[k + (j + 1) * stride].vehicle_states[vehicle_id].position
+                    for j in range(n_waypoints)
+                ]
+            )
+            waypoints = to_vehicle_frame(future, state.position, state.heading)
+            bev = render_bev(
+                world.town,
+                bev_spec,
+                state,
+                snap.vehicle_plans[vehicle_id],
+                snap.other_car_positions(vehicle_id),
+                snap.pedestrian_positions,
+            )
+            datasets[vehicle_id].add(
+                Frame(
+                    frame_id=f"{vehicle_id}:{k}",
+                    bev=bev,
+                    command=snap.vehicle_commands[vehicle_id],
+                    waypoints=waypoints.ravel().astype(np.float32),
+                )
+            )
+    return datasets

@@ -1,0 +1,91 @@
+"""Planar geometry helpers (vectorized where it matters)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "wrap_angle",
+    "to_vehicle_frame",
+    "to_world_frame",
+    "point_segment_distance",
+    "polyline_lengths",
+    "resample_polyline",
+]
+
+
+def wrap_angle(theta: float | np.ndarray) -> float | np.ndarray:
+    """Wrap angle(s) to (-pi, pi]."""
+    return np.arctan2(np.sin(theta), np.cos(theta))
+
+
+def to_vehicle_frame(
+    points: np.ndarray, position: np.ndarray, heading: float
+) -> np.ndarray:
+    """Transform world points into a vehicle frame.
+
+    The vehicle frame has +x pointing along the heading and +y to the
+    vehicle's left.  ``points`` is ``(..., 2)``.
+    """
+    points = np.asarray(points, dtype=float)
+    cos_h, sin_h = np.cos(heading), np.sin(heading)
+    shifted = points - np.asarray(position, dtype=float)
+    x = shifted[..., 0] * cos_h + shifted[..., 1] * sin_h
+    y = -shifted[..., 0] * sin_h + shifted[..., 1] * cos_h
+    return np.stack([x, y], axis=-1)
+
+
+def to_world_frame(points: np.ndarray, position: np.ndarray, heading: float) -> np.ndarray:
+    """Inverse of :func:`to_vehicle_frame`."""
+    points = np.asarray(points, dtype=float)
+    cos_h, sin_h = np.cos(heading), np.sin(heading)
+    x = points[..., 0] * cos_h - points[..., 1] * sin_h
+    y = points[..., 0] * sin_h + points[..., 1] * cos_h
+    return np.stack([x, y], axis=-1) + np.asarray(position, dtype=float)
+
+
+def point_segment_distance(
+    points: np.ndarray, seg_a: np.ndarray, seg_b: np.ndarray
+) -> np.ndarray:
+    """Distance from each point to the segment ``seg_a -> seg_b``.
+
+    ``points`` is ``(n, 2)``; returns ``(n,)``.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    a = np.asarray(seg_a, dtype=float)
+    b = np.asarray(seg_b, dtype=float)
+    ab = b - a
+    denom = float(ab @ ab)
+    if denom == 0.0:
+        return np.linalg.norm(points - a, axis=1)
+    t = np.clip(((points - a) @ ab) / denom, 0.0, 1.0)
+    closest = a + t[:, None] * ab
+    return np.linalg.norm(points - closest, axis=1)
+
+
+def polyline_lengths(polyline: np.ndarray) -> np.ndarray:
+    """Cumulative arc length at each vertex of a polyline (starts at 0)."""
+    polyline = np.asarray(polyline, dtype=float)
+    seg = np.linalg.norm(np.diff(polyline, axis=0), axis=1)
+    return np.concatenate([[0.0], np.cumsum(seg)])
+
+
+def resample_polyline(polyline: np.ndarray, spacing: float) -> np.ndarray:
+    """Resample a polyline to (approximately) uniform ``spacing``.
+
+    The first and last vertices are always kept.
+    """
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive: {spacing}")
+    polyline = np.asarray(polyline, dtype=float)
+    if len(polyline) < 2:
+        return polyline.copy()
+    lengths = polyline_lengths(polyline)
+    total = lengths[-1]
+    if total == 0:
+        return polyline[:1].copy()
+    n_samples = max(int(np.ceil(total / spacing)) + 1, 2)
+    targets = np.linspace(0.0, total, n_samples)
+    xs = np.interp(targets, lengths, polyline[:, 0])
+    ys = np.interp(targets, lengths, polyline[:, 1])
+    return np.stack([xs, ys], axis=1)

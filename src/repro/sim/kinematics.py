@@ -1,0 +1,57 @@
+"""Vehicle kinematics: a unicycle model with rate limits.
+
+Good enough for imitation-learning experiments: the controller outputs a
+steering rate and an acceleration, both clipped to physical limits, and
+the state integrates forward at a fixed timestep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.geometry import wrap_angle
+
+__all__ = ["VehicleState", "advance", "MAX_TURN_RATE", "MAX_ACCEL", "MAX_DECEL"]
+
+#: Physical limits (roughly a passenger car).
+MAX_TURN_RATE = 0.9  # rad/s at full steer
+MAX_ACCEL = 3.0  # m/s^2
+MAX_DECEL = 6.0  # m/s^2
+
+
+@dataclass
+class VehicleState:
+    """Planar pose plus longitudinal speed."""
+
+    x: float
+    y: float
+    heading: float
+    speed: float
+
+    @property
+    def position(self) -> np.ndarray:
+        """(x, y) position as an array."""
+        return np.array([self.x, self.y])
+
+    def copy(self) -> "VehicleState":
+        """An independent copy of this state."""
+        return VehicleState(self.x, self.y, self.heading, self.speed)
+
+
+def advance(state: VehicleState, turn_rate: float, accel: float, dt: float) -> VehicleState:
+    """Integrate the unicycle one step; returns a new state.
+
+    ``turn_rate`` (rad/s) and ``accel`` (m/s^2) are clipped to the
+    vehicle's physical limits; speed never goes negative.
+    """
+    turn_rate = float(np.clip(turn_rate, -MAX_TURN_RATE, MAX_TURN_RATE))
+    accel = float(np.clip(accel, -MAX_DECEL, MAX_ACCEL))
+    speed = max(state.speed + accel * dt, 0.0)
+    heading = float(wrap_angle(state.heading + turn_rate * dt))
+    # Integrate position with the mid-step speed for stability.
+    mid_speed = 0.5 * (state.speed + speed)
+    x = state.x + mid_speed * np.cos(heading) * dt
+    y = state.y + mid_speed * np.sin(heading) * dt
+    return VehicleState(x, y, heading, speed)

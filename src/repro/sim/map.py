@@ -1,0 +1,256 @@
+"""The town road network.
+
+Mirrors the paper's setting: the largest CARLA built-in map covers about
+1 km x 1 km with both town and rural areas.  Here the town is a jittered
+grid of intersections and the rural part is a sparse outer loop with
+long road segments.  Roads are undirected two-way edges of a networkx
+graph; geometry is straight segments between intersection positions.
+
+The map also owns a static occupancy grid ("is this point on a road?")
+used both by the BEV rasterizer and by off-road detection during online
+evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.sim.geometry import point_segment_distance
+
+__all__ = ["TownMap"]
+
+
+class TownMap:
+    """A road network over a square area.
+
+    Parameters
+    ----------
+    size:
+        Side of the square map in meters (paper: ~1000).
+    grid_n:
+        Number of town intersections per side.
+    road_half_width:
+        Half the paved width of a road in meters.
+    rural:
+        Whether to attach the rural outer loop.
+    seed:
+        Seed for intersection jitter.
+    cell:
+        Resolution of the static occupancy grid in meters.
+    """
+
+    def __init__(
+        self,
+        size: float = 1000.0,
+        grid_n: int = 6,
+        road_half_width: float = 4.0,
+        rural: bool = True,
+        seed: int = 0,
+        cell: float = 2.0,
+    ):
+        if grid_n < 2:
+            raise ValueError(f"grid_n must be >= 2: {grid_n}")
+        self.size = float(size)
+        self.road_half_width = float(road_half_width)
+        self.cell = float(cell)
+        self.graph = nx.Graph()
+        rng = np.random.default_rng(seed)
+        self._build_town(grid_n, rng)
+        if rural:
+            self._build_rural(grid_n, rng)
+        self._edges = list(self.graph.edges())
+        self._node_pos = {n: np.asarray(self.graph.nodes[n]["pos"], dtype=float) for n in self.graph}
+        self._occupancy = self._rasterize_roads()
+
+    # -- construction ------------------------------------------------------
+
+    def _build_town(self, grid_n: int, rng: np.random.Generator) -> None:
+        # Town occupies the central ~70% of the map.
+        lo, hi = 0.15 * self.size, 0.85 * self.size
+        xs = np.linspace(lo, hi, grid_n)
+        ys = np.linspace(lo, hi, grid_n)
+        jitter = 0.08 * (xs[1] - xs[0])
+        for i in range(grid_n):
+            for j in range(grid_n):
+                pos = np.array(
+                    [
+                        xs[i] + rng.uniform(-jitter, jitter),
+                        ys[j] + rng.uniform(-jitter, jitter),
+                    ]
+                )
+                self.graph.add_node(("t", i, j), pos=pos, kind="town")
+        for i in range(grid_n):
+            for j in range(grid_n):
+                if i + 1 < grid_n:
+                    self._add_road(("t", i, j), ("t", i + 1, j))
+                if j + 1 < grid_n:
+                    self._add_road(("t", i, j), ("t", i, j + 1))
+
+    def _build_rural(self, grid_n: int, rng: np.random.Generator) -> None:
+        # Four rural waypoints near the map corners, chained into a loop
+        # and attached to the nearest town corner intersections.
+        margin = 0.05 * self.size
+        corners = [
+            np.array([margin, margin]),
+            np.array([self.size - margin, margin]),
+            np.array([self.size - margin, self.size - margin]),
+            np.array([margin, self.size - margin]),
+        ]
+        names = []
+        for k, base in enumerate(corners):
+            pos = base + rng.uniform(-margin / 2, margin / 2, size=2)
+            name = ("r", k)
+            self.graph.add_node(name, pos=pos, kind="rural")
+            names.append(name)
+        for k in range(4):
+            self._add_road(names[k], names[(k + 1) % 4])
+        town_corners = [
+            ("t", 0, 0),
+            ("t", grid_n - 1, 0),
+            ("t", grid_n - 1, grid_n - 1),
+            ("t", 0, grid_n - 1),
+        ]
+        for rural_node, town_node in zip(names, town_corners):
+            self._add_road(rural_node, town_node)
+
+    def _add_road(self, a, b) -> None:
+        pa = self.graph.nodes[a]["pos"]
+        pb = self.graph.nodes[b]["pos"]
+        self.graph.add_edge(a, b, length=float(np.linalg.norm(pa - pb)))
+
+    def _rasterize_roads(self) -> np.ndarray:
+        n_cells = int(np.ceil(self.size / self.cell))
+        occ = np.zeros((n_cells, n_cells), dtype=bool)
+        half = self.road_half_width
+        for a, b in self._edges:
+            pa, pb = self._node_pos[a], self._node_pos[b]
+            lo = np.minimum(pa, pb) - half - self.cell
+            hi = np.maximum(pa, pb) + half + self.cell
+            i0, j0 = np.maximum(np.floor(lo / self.cell).astype(int), 0)
+            i1 = min(int(np.ceil(hi[0] / self.cell)), n_cells - 1)
+            j1 = min(int(np.ceil(hi[1] / self.cell)), n_cells - 1)
+            if i0 > i1 or j0 > j1:
+                continue
+            ii, jj = np.meshgrid(
+                np.arange(i0, i1 + 1), np.arange(j0, j1 + 1), indexing="ij"
+            )
+            centers = np.stack(
+                [(ii.ravel() + 0.5) * self.cell, (jj.ravel() + 0.5) * self.cell], axis=1
+            )
+            dist = point_segment_distance(centers, pa, pb)
+            mask = (dist <= half).reshape(ii.shape)
+            occ[i0 : i1 + 1, j0 : j1 + 1] |= mask
+        return occ
+
+    # -- queries -----------------------------------------------------------
+
+    def node_position(self, node) -> np.ndarray:
+        """(x, y) position of an intersection node."""
+        return self._node_pos[node]
+
+    def nodes(self) -> list:
+        """All intersection nodes."""
+        return list(self.graph.nodes)
+
+    def town_nodes(self) -> list:
+        """Intersections belonging to the town grid (not rural)."""
+        return [n for n in self.graph if self.graph.nodes[n]["kind"] == "town"]
+
+    def nearest_node(self, point: np.ndarray):
+        """The intersection closest to ``point``."""
+        point = np.asarray(point, dtype=float)
+        best, best_d = None, np.inf
+        for node, pos in self._node_pos.items():
+            d = float(np.linalg.norm(pos - point))
+            if d < best_d:
+                best, best_d = node, d
+        return best
+
+    def shortest_path(self, a, b, rng: np.random.Generator | None = None) -> list:
+        """Node sequence of the shortest road path from ``a`` to ``b``.
+
+        With ``rng``, edge lengths are jittered (+-20%) for this query
+        only, so repeated trips between the same areas take varied paths
+        — drivers do not all follow one canonical shortest path, and the
+        variety balances left/right turn exposure in collected data.
+        """
+        if rng is None:
+            return nx.shortest_path(self.graph, a, b, weight="length")
+        jitter = {
+            frozenset(edge): rng.uniform(0.8, 1.2) for edge in self.graph.edges()
+        }
+
+        def weight(u, v, data):
+            return data["length"] * jitter[frozenset((u, v))]
+
+        return nx.shortest_path(self.graph, a, b, weight=weight)
+
+    def is_on_road(self, point: np.ndarray, margin: float = 0.0) -> bool:
+        """Whether ``point`` lies on the paved road (plus ``margin``)."""
+        point = np.asarray(point, dtype=float)
+        if margin > 0.0:
+            # Exact check against segments; used sparingly.
+            for a, b in self._edges:
+                d = point_segment_distance(point[None, :], self._node_pos[a], self._node_pos[b])[0]
+                if d <= self.road_half_width + margin:
+                    return True
+            return False
+        i = int(point[0] / self.cell)
+        j = int(point[1] / self.cell)
+        n = self._occupancy.shape[0]
+        if not (0 <= i < n and 0 <= j < n):
+            return False
+        return bool(self._occupancy[i, j])
+
+    def occupancy_at(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized road-occupancy lookup for ``(n, 2)`` world points."""
+        points = np.asarray(points, dtype=float)
+        idx = np.floor(points / self.cell).astype(int)
+        n = self._occupancy.shape[0]
+        valid = (
+            (idx[:, 0] >= 0) & (idx[:, 0] < n) & (idx[:, 1] >= 0) & (idx[:, 1] < n)
+        )
+        out = np.zeros(len(points), dtype=bool)
+        clipped = np.clip(idx, 0, n - 1)
+        out[valid] = self._occupancy[clipped[valid, 0], clipped[valid, 1]]
+        return out
+
+    def district_of(self, point: np.ndarray, n_districts: int = 4) -> int:
+        """District index of a point (map quadrants, row-major).
+
+        Districts model the home zones vehicles mostly drive in; they
+        are the source of data heterogeneity across the fleet.  Only 1,
+        2 and 4 districts are supported (half/quadrant splits).
+        """
+        if n_districts == 1:
+            return 0
+        point = np.asarray(point, dtype=float)
+        half = self.size / 2.0
+        if n_districts == 2:
+            return int(point[0] >= half)
+        if n_districts == 4:
+            return int(point[0] >= half) * 2 + int(point[1] >= half)
+        raise ValueError(f"n_districts must be 1, 2 or 4: {n_districts}")
+
+    def district_nodes(self, district: int, n_districts: int = 4) -> list:
+        """Intersections inside one district (never empty for 1/2/4)."""
+        nodes = [
+            n
+            for n in self.graph
+            if self.district_of(self._node_pos[n], n_districts) == district
+        ]
+        return nodes or self.nodes()
+
+    def random_road_point(self, rng: np.random.Generator) -> np.ndarray:
+        """A uniformly random point on the paved road surface."""
+        a, b = self._edges[rng.integers(len(self._edges))]
+        pa, pb = self._node_pos[a], self._node_pos[b]
+        t = rng.uniform()
+        direction = pb - pa
+        norm = np.linalg.norm(direction)
+        normal = (
+            np.array([-direction[1], direction[0]]) / norm if norm > 0 else np.zeros(2)
+        )
+        offset = rng.uniform(-self.road_half_width, self.road_half_width)
+        return pa + t * direction + offset * normal

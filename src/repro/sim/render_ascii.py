@@ -1,0 +1,86 @@
+"""ASCII rendering of the world — quick visual sanity checks.
+
+Renders the road network, fleet vehicles (letters), background cars
+(``c``), pedestrians (``.``), and optionally a route (``*``) onto a
+character grid.  Used by examples and invaluable when debugging driving
+behaviour without a GUI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.map import TownMap
+from repro.sim.router import RoutePlan
+
+__all__ = ["render_town", "render_world"]
+
+
+def _empty_canvas(town: TownMap, width: int) -> tuple[list[list[str]], float]:
+    height = width // 2  # terminal cells are ~2x taller than wide
+    canvas = [[" "] * width for _ in range(height)]
+    return canvas, width
+
+
+def _to_cell(point: np.ndarray, town: TownMap, width: int) -> tuple[int, int] | None:
+    height = width // 2
+    col = int(point[0] / town.size * (width - 1))
+    # Rows grow downward; map y grows upward.
+    row = int((1.0 - point[1] / town.size) * (height - 1))
+    if 0 <= row < height and 0 <= col < width:
+        return row, col
+    return None
+
+
+def render_town(
+    town: TownMap,
+    width: int = 72,
+    plan: RoutePlan | None = None,
+) -> str:
+    """The road network (and optionally one route) as ASCII art."""
+    canvas, _ = _empty_canvas(town, width)
+    # Roads: sample each edge densely.
+    for a, b in town.graph.edges():
+        pa, pb = town.node_position(a), town.node_position(b)
+        n = max(int(np.linalg.norm(pb - pa) / town.size * width * 2), 2)
+        for t in np.linspace(0.0, 1.0, n):
+            cell = _to_cell(pa + t * (pb - pa), town, width)
+            if cell:
+                canvas[cell[0]][cell[1]] = "-"
+    for node in town.graph:
+        cell = _to_cell(town.node_position(node), town, width)
+        if cell:
+            canvas[cell[0]][cell[1]] = "+"
+    if plan is not None:
+        for s in np.linspace(0.0, plan.total_length, width * 2):
+            cell = _to_cell(plan.point_at(float(s)), town, width)
+            if cell:
+                canvas[cell[0]][cell[1]] = "*"
+    return "\n".join("".join(row) for row in canvas)
+
+
+def render_world(world, width: int = 72, plan: RoutePlan | None = None) -> str:
+    """The current world state over the road map.
+
+    Fleet vehicles render as letters (A, B, C, ...), background cars as
+    ``c``, pedestrians as ``.``.
+    """
+    base = render_town(world.town, width, plan).splitlines()
+    canvas = [list(row) for row in base]
+
+    def stamp(point, char):
+        cell = _to_cell(np.asarray(point), world.town, width)
+        if cell:
+            canvas[cell[0]][cell[1]] = char
+
+    for ped in world.traffic.pedestrian_positions():
+        stamp(ped, ".")
+    for car in world.traffic.car_positions():
+        stamp(car, "c")
+    for index, vehicle in enumerate(world.vehicles):
+        stamp(vehicle.state.position, chr(ord("A") + index % 26))
+    header = (
+        f"t={world.time:7.1f}s  fleet={len(world.vehicles)}  "
+        f"cars={len(world.traffic.cars)}  peds={len(world.traffic.pedestrians)}"
+    )
+    return header + "\n" + "\n".join("".join(row) for row in canvas)

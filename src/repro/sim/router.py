@@ -1,0 +1,188 @@
+"""Route planning and high-level command generation.
+
+A :class:`RoutePlan` is the navigation-service output the paper assumes
+every vehicle has: the geometric path to follow plus, at every point on
+it, the high-level command ("follow lane", "turn left", "turn right",
+"go straight through") that conditions the driving model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import COMMAND_NAMES
+from repro.sim.geometry import polyline_lengths, resample_polyline, wrap_angle
+from repro.sim.map import TownMap
+
+__all__ = ["RoutePlan", "plan_route", "random_route"]
+
+CMD_FOLLOW = COMMAND_NAMES.index("follow")
+CMD_LEFT = COMMAND_NAMES.index("left")
+CMD_RIGHT = COMMAND_NAMES.index("right")
+CMD_STRAIGHT = COMMAND_NAMES.index("straight")
+
+#: Distance before an intersection at which its command becomes active.
+COMMAND_HORIZON = 30.0
+#: Turn angles below this (radians) count as "go straight".
+STRAIGHT_THRESHOLD = np.deg2rad(25.0)
+
+
+class RoutePlan:
+    """A resampled route polyline with arc-length queries.
+
+    Parameters
+    ----------
+    vertices:
+        Route waypoints (intersection positions), ``(n, 2)``.
+    spacing:
+        Resampling spacing in meters for the dense polyline.
+    """
+
+    def __init__(self, vertices: np.ndarray, spacing: float = 2.0):
+        vertices = np.asarray(vertices, dtype=float)
+        if len(vertices) < 2:
+            raise ValueError("a route needs at least two vertices")
+        self.vertices = vertices
+        self.polyline = resample_polyline(vertices, spacing)
+        self.cum_lengths = polyline_lengths(self.polyline)
+        self.total_length = float(self.cum_lengths[-1])
+        self.vertex_s = polyline_lengths(vertices)
+        self._turns = self._compute_turns()
+
+    def _compute_turns(self) -> list[tuple[float, int]]:
+        """(arc position, command) for every interior route vertex."""
+        turns: list[tuple[float, int]] = []
+        vertex_s = polyline_lengths(self.vertices)
+        for i in range(1, len(self.vertices) - 1):
+            incoming = self.vertices[i] - self.vertices[i - 1]
+            outgoing = self.vertices[i + 1] - self.vertices[i]
+            angle = wrap_angle(
+                np.arctan2(outgoing[1], outgoing[0]) - np.arctan2(incoming[1], incoming[0])
+            )
+            if abs(angle) < STRAIGHT_THRESHOLD:
+                cmd = CMD_STRAIGHT
+            elif angle > 0:
+                cmd = CMD_LEFT
+            else:
+                cmd = CMD_RIGHT
+            turns.append((float(vertex_s[i]), cmd))
+        return turns
+
+    # -- queries -----------------------------------------------------------
+
+    def point_at(self, s: float) -> np.ndarray:
+        """Point on the route at arc length ``s`` (clamped)."""
+        s = float(np.clip(s, 0.0, self.total_length))
+        x = np.interp(s, self.cum_lengths, self.polyline[:, 0])
+        y = np.interp(s, self.cum_lengths, self.polyline[:, 1])
+        return np.array([x, y])
+
+    def heading_at(self, s: float) -> float:
+        """Tangent heading of the route at arc length ``s``."""
+        ds = 1.0
+        ahead = self.point_at(min(s + ds, self.total_length))
+        here = self.point_at(max(min(s, self.total_length) - ds, 0.0))
+        delta = ahead - here
+        return float(np.arctan2(delta[1], delta[0]))
+
+    def command_at(self, s: float) -> int:
+        """High-level command active at arc length ``s``.
+
+        The command of the next turning vertex applies once the vehicle
+        is within :data:`COMMAND_HORIZON` of it; otherwise "follow".
+        """
+        for turn_s, cmd in self._turns:
+            if s <= turn_s <= s + COMMAND_HORIZON:
+                return cmd
+        return CMD_FOLLOW
+
+    def project(self, position: np.ndarray, hint: float | None = None) -> float:
+        """Arc length of the route point nearest ``position``.
+
+        ``hint`` (a previous projection) restricts the search to a local
+        window, which both speeds up the query and prevents snapping to a
+        later self-crossing of the route.
+        """
+        position = np.asarray(position, dtype=float)
+        if hint is None:
+            lo, hi = 0, len(self.polyline)
+        else:
+            idx = int(np.searchsorted(self.cum_lengths, hint))
+            window = max(int(60.0 / max(self.cum_lengths[1], 1e-9)), 5)
+            lo, hi = max(idx - window, 0), min(idx + window, len(self.polyline))
+        segment = self.polyline[lo:hi]
+        dists = np.linalg.norm(segment - position, axis=1)
+        return float(self.cum_lengths[lo + int(np.argmin(dists))])
+
+    def route_cells(self, cell: float) -> set[tuple[int, int]]:
+        """Grid cells (at resolution ``cell``) the route passes through."""
+        dense = resample_polyline(self.polyline, cell / 2.0)
+        idx = np.floor(dense / cell).astype(int)
+        return set(map(tuple, idx.tolist()))
+
+    def distance_to_intersection(self, s: float) -> float:
+        """Arc distance from ``s`` to the nearest upcoming route vertex.
+
+        Used by drivers to slow down on intersection approach; returns
+        infinity past the last interior vertex.
+        """
+        interior = self.vertex_s[1:-1]
+        ahead = interior[interior >= s - 5.0]
+        if len(ahead) == 0:
+            return np.inf
+        return float(max(ahead[0] - s, 0.0))
+
+    def lane_point_at(self, s: float, lane_offset: float) -> np.ndarray:
+        """Route point shifted ``lane_offset`` meters to the right.
+
+        Right-hand traffic: vehicles track this offset line rather than
+        the centerline, so opposing flows do not share a path.
+        """
+        point = self.point_at(s)
+        heading = self.heading_at(s)
+        right_normal = np.array([np.sin(heading), -np.cos(heading)])
+        return point + lane_offset * right_normal
+
+    def done(self, s: float, tolerance: float = 5.0) -> bool:
+        """Whether arc position ``s`` is within ``tolerance`` of the end."""
+        return s >= self.total_length - tolerance
+
+
+def plan_route(
+    town: TownMap, start, goal, spacing: float = 2.0, rng: np.random.Generator | None = None
+) -> RoutePlan:
+    """Shortest-path route between two intersections.
+
+    With ``rng`` the path is sampled with jittered edge weights (see
+    :meth:`TownMap.shortest_path`) for route variety.
+    """
+    path = town.shortest_path(start, goal, rng=rng)
+    vertices = np.array([town.node_position(n) for n in path])
+    return RoutePlan(vertices, spacing=spacing)
+
+
+def random_route(
+    town: TownMap,
+    rng: np.random.Generator,
+    min_length: float = 200.0,
+    start=None,
+    max_tries: int = 64,
+    nodes=None,
+) -> RoutePlan:
+    """A random route of at least ``min_length`` meters.
+
+    When ``start`` is given the route begins there; otherwise both ends
+    are random intersections.  ``nodes`` restricts candidate endpoints
+    (e.g. to a vehicle's home district) — intermediate intersections may
+    still lie outside it, as real trips do.
+    """
+    nodes = list(nodes) if nodes is not None else town.nodes()
+    for _ in range(max_tries):
+        a = start if start is not None else nodes[rng.integers(len(nodes))]
+        b = nodes[rng.integers(len(nodes))]
+        if a == b:
+            continue
+        plan = plan_route(town, a, b, rng=rng)
+        if plan.total_length >= min_length:
+            return plan
+    raise RuntimeError(f"no route of length >= {min_length} found in {max_tries} tries")

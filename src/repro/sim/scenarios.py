@@ -1,0 +1,152 @@
+"""Scripted stress-test scenarios beyond the paper's benchmark ladder.
+
+The CARLA ladder measures end-to-end navigation; these scenarios probe
+*specific* competencies of a driving model in isolation, each with its
+own pass criterion:
+
+* **pedestrian_crossing** — a pedestrian steps onto the road ahead of
+  the cruising vehicle; pass = stop or pass without contact.
+* **lead_vehicle_stop** — a slower car ahead brakes to a halt; pass =
+  no rear-end collision and progress resumes after it clears.
+* **empty_sprint** — a straight empty road; pass = reach the end at a
+  reasonable average speed (catches over-conservative models).
+
+Each scenario builds a minimal deterministic world, so failures point
+at model behaviour rather than traffic randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.autopilot import ModelPilot
+from repro.sim.bev import BevSpec, render_bev
+from repro.sim.kinematics import VehicleState, advance
+from repro.sim.map import TownMap
+from repro.sim.router import RoutePlan
+from repro.sim.world import CAR_RADIUS, PED_RADIUS
+
+__all__ = ["ScenarioResult", "pedestrian_crossing", "lead_vehicle_stop", "empty_sprint", "SCENARIOS"]
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scripted scenario run."""
+    passed: bool
+    reason: str
+    time: float
+    min_gap: float  # closest approach to the hazard, meters (inf if none)
+
+
+def _straight_route(town: TownMap) -> RoutePlan:
+    """The longest straight edge in the town, as a route."""
+    best, best_len = None, 0.0
+    for a, b in town.graph.edges():
+        pa, pb = town.node_position(a), town.node_position(b)
+        length = float(np.linalg.norm(pb - pa))
+        if length > best_len:
+            best, best_len = (pa, pb), length
+    return RoutePlan(np.stack(best))
+
+
+def _drive(
+    town: TownMap,
+    model,
+    bev_spec: BevSpec,
+    plan: RoutePlan,
+    hazard_step,
+    duration: float,
+    hazard_radius: float,
+) -> ScenarioResult:
+    start = plan.point_at(0.0)
+    state = VehicleState(start[0], start[1], plan.heading_at(0.0), 8.0)
+    hazard_pos, cars, peds = hazard_step(0.0, state)
+
+    def bev_fn(current_state, current_plan):
+        return render_bev(town, bev_spec, current_state, current_plan, cars, peds)
+
+    pilot = ModelPilot(model, plan, bev_fn)
+    time, dt = 0.0, 0.1
+    min_gap = np.inf
+    while time < duration:
+        hazard_pos, cars, peds = hazard_step(time, state)
+        turn_rate, accel = pilot.control(state, dt)
+        state = advance(state, turn_rate, accel, dt)
+        time += dt
+        if hazard_pos is not None:
+            gap = float(np.linalg.norm(state.position - hazard_pos))
+            min_gap = min(min_gap, gap)
+            if gap < hazard_radius:
+                return ScenarioResult(False, "collision", time, min_gap)
+        if not town.is_on_road(state.position, margin=3.0):
+            return ScenarioResult(False, "off_road", time, min_gap)
+        if pilot.done():
+            return ScenarioResult(True, "success", time, min_gap)
+    return ScenarioResult(False, "timeout", time, min_gap)
+
+
+def pedestrian_crossing(
+    town: TownMap, model, bev_spec: BevSpec, duration: float = 90.0
+) -> ScenarioResult:
+    """A pedestrian crosses 45 m ahead of the vehicle's start."""
+    plan = _straight_route(town)
+    ahead = plan.point_at(45.0)
+    heading = plan.heading_at(45.0)
+    normal = np.array([-np.sin(heading), np.cos(heading)])
+    ped_speed = 1.0
+
+    def hazard_step(time, state):
+        # Walks across the road, then stays on the far sidewalk.
+        offset = min(-5.0 + ped_speed * time, 5.0)
+        pos = ahead + normal * offset
+        return pos, np.zeros((0, 2)), pos[None, :]
+
+    return _drive(
+        town, model, bev_spec, plan, hazard_step, duration, CAR_RADIUS + PED_RADIUS
+    )
+
+
+def lead_vehicle_stop(
+    town: TownMap, model, bev_spec: BevSpec, duration: float = 90.0
+) -> ScenarioResult:
+    """A lead car 25 m ahead drives slowly, stops, then pulls away."""
+    plan = _straight_route(town)
+
+    def lead_progress(time):
+        if time < 6.0:
+            return 25.0 + 4.0 * time  # slow lead
+        if time < 14.0:
+            return 25.0 + 24.0  # stopped
+        return 25.0 + 24.0 + 10.0 * (time - 14.0)  # clears off
+
+    def hazard_step(time, state):
+        pos = plan.lane_point_at(lead_progress(time), 2.0)
+        return pos, pos[None, :], np.zeros((0, 2))
+
+    return _drive(town, model, bev_spec, plan, hazard_step, duration, 2 * CAR_RADIUS)
+
+
+def empty_sprint(
+    town: TownMap, model, bev_spec: BevSpec, duration: float = 60.0
+) -> ScenarioResult:
+    """Straight empty road; also fails on over-conservative crawling."""
+    plan = _straight_route(town)
+
+    def hazard_step(time, state):
+        return None, np.zeros((0, 2)), np.zeros((0, 2))
+
+    result = _drive(town, model, bev_spec, plan, hazard_step, duration, 0.0)
+    if result.passed:
+        average_speed = plan.total_length / result.time
+        if average_speed < 3.0:
+            return ScenarioResult(False, "too_slow", result.time, np.inf)
+    return result
+
+
+SCENARIOS = {
+    "pedestrian_crossing": pedestrian_crossing,
+    "lead_vehicle_stop": lead_vehicle_stop,
+    "empty_sprint": empty_sprint,
+}

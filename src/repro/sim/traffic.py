@@ -1,0 +1,242 @@
+"""Background traffic: roaming cars and pedestrians.
+
+Matches the paper's setup of extra cars and pedestrians "initialized at
+random locations and keep roaming on the map" as realism-enhancing
+hazards.  Background cars are expert autopilots on endlessly renewed
+random routes; pedestrians do a random-waypoint walk biased to stay in
+the road corridor, so they regularly cross in front of traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.autopilot import ExpertAutopilot
+from repro.sim.kinematics import VehicleState, advance
+from repro.sim.map import TownMap
+from repro.sim.router import random_route
+
+__all__ = ["BackgroundCar", "Pedestrian", "TrafficManager"]
+
+_PED_SPEED = 1.3  # m/s
+_PED_WANDER_RADIUS = 40.0
+
+
+class BackgroundCar:
+    """An autopilot car roaming random routes forever."""
+
+    def __init__(self, town: TownMap, rng: np.random.Generator, speed_factor: float = 1.0):
+        self._town = town
+        self._rng = rng
+        self.speed_factor = speed_factor
+        plan = random_route(town, rng, min_length=150.0)
+        start = plan.point_at(0.0)
+        self.state = VehicleState(start[0], start[1], plan.heading_at(0.0), 0.0)
+        self.pilot = ExpertAutopilot(plan)
+
+    def step(self, obstacles: np.ndarray, dt: float) -> None:
+        if self.pilot.done():
+            node = self._town.nearest_node(self.state.position)
+            plan = random_route(self._town, self._rng, min_length=150.0, start=node)
+            self.pilot = ExpertAutopilot(plan)
+        turn_rate, accel = self.pilot.control(self.state, obstacles, dt=dt)
+        self.state = advance(self.state, turn_rate * self.speed_factor, accel, dt)
+
+
+class Pedestrian:
+    """Roadside walker that occasionally crosses the road.
+
+    Pedestrians wander between points just *off* the pavement (the
+    sidewalk), so their paths regularly cross roads.  Before stepping
+    onto the pavement they yield at the curb while a car is close —
+    exactly like real pedestrians — but once committed to a crossing
+    they keep walking.  Collisions with pedestrians therefore mean the
+    driver failed to brake for someone already crossing ahead, which is
+    learnable behaviour, rather than pedestrians hurling themselves into
+    moving cars.
+    """
+
+    def __init__(self, town: TownMap, rng: np.random.Generator):
+        self._town = town
+        self._rng = rng
+        self.position = self._sidewalk_point(town.random_road_point(rng))
+        self._target = self._new_target()
+
+    def _sidewalk_point(self, road_point: np.ndarray) -> np.ndarray:
+        """Push a road point just past the pavement edge."""
+        direction = self._rng.normal(size=2)
+        direction /= max(np.linalg.norm(direction), 1e-9)
+        for step_len in (1.0, 2.0, 3.0, 4.0):
+            candidate = road_point + direction * (self._town.road_half_width + step_len)
+            if not self._town.is_on_road(candidate):
+                return np.clip(candidate, 0.0, self._town.size)
+        return np.clip(road_point, 0.0, self._town.size)
+
+    def _new_target(self) -> np.ndarray:
+        # A sidewalk point near a random road within wander radius; the
+        # straight-line walk there may cross pavement (the hazard).
+        for _ in range(8):
+            candidate = self._town.random_road_point(self._rng)
+            if np.linalg.norm(candidate - self.position) <= _PED_WANDER_RADIUS:
+                return self._sidewalk_point(candidate)
+        offset = self._rng.uniform(-_PED_WANDER_RADIUS / 2, _PED_WANDER_RADIUS / 2, size=2)
+        return np.clip(self.position + offset, 0.0, self._town.size)
+
+    def step(
+        self,
+        dt: float,
+        car_positions: np.ndarray | None = None,
+        car_speeds: np.ndarray | None = None,
+    ) -> None:
+        delta = self._target - self.position
+        dist = float(np.linalg.norm(delta))
+        if dist < 1.0:
+            self._target = self._new_target()
+            return
+        next_pos = self.position + delta / dist * _PED_SPEED * dt
+        if car_positions is not None and len(car_positions):
+            gaps = np.linalg.norm(car_positions - self.position, axis=1)
+            nearest = float(gaps.min())
+            # Personal space: never walk to within arm's reach of a car.
+            next_gap = float(np.min(np.linalg.norm(car_positions - next_pos, axis=1)))
+            if next_gap < 3.0 and next_gap < nearest:
+                # Blocked: walk somewhere else instead of standing next
+                # to a car forever (which deadlocks traffic).
+                self._target = self._sidewalk_point(self.position)
+                return
+            on_road_now = self._town.is_on_road(self.position)
+            entering_road = not on_road_now and self._town.is_on_road(next_pos)
+            if entering_road:
+                if car_speeds is not None and len(car_speeds) == len(car_positions):
+                    moving = car_speeds > 0.5
+                    nearest_moving = (
+                        float(gaps[moving].min()) if moving.any() else np.inf
+                    )
+                else:
+                    nearest_moving = nearest
+                if nearest_moving < 14.0:
+                    return  # wait at the curb for moving traffic only
+        self.position = next_pos
+
+
+class TrafficManager:
+    """Owns and steps all background agents; exposes position arrays."""
+
+    def __init__(
+        self,
+        town: TownMap,
+        n_cars: int,
+        n_pedestrians: int,
+        rng: np.random.Generator,
+        keep_clear: np.ndarray | None = None,
+        keep_clear_radius: float = 20.0,
+        ped_district_weights: np.ndarray | None = None,
+        n_districts: int = 1,
+    ):
+        self._town = town
+        self.cars = []
+        for _ in range(n_cars):
+            car = BackgroundCar(town, np.random.default_rng(rng.integers(2**63)))
+            # Don't spawn on top of the ego (or whatever keep_clear marks).
+            for _ in range(16):
+                if keep_clear is None:
+                    break
+                gap = float(np.linalg.norm(car.state.position - keep_clear))
+                if gap >= keep_clear_radius:
+                    break
+                car = BackgroundCar(town, np.random.default_rng(rng.integers(2**63)))
+            self.cars.append(car)
+        self.pedestrians = []
+        for _ in range(n_pedestrians):
+            ped = Pedestrian(town, np.random.default_rng(rng.integers(2**63)))
+            if ped_district_weights is not None:
+                # Rejection-sample the spawn into a weighted district so
+                # pedestrian hazard density differs across the map.
+                target = int(rng.choice(len(ped_district_weights), p=ped_district_weights))
+                for _ in range(24):
+                    if town.district_of(ped.position, n_districts) == target:
+                        break
+                    ped = Pedestrian(town, np.random.default_rng(rng.integers(2**63)))
+            self.pedestrians.append(ped)
+
+    def car_positions(self) -> np.ndarray:
+        """(n, 2) positions of all background cars."""
+        if not self.cars:
+            return np.zeros((0, 2))
+        return np.array([c.state.position for c in self.cars])
+
+    def pedestrian_positions(self) -> np.ndarray:
+        """(n, 2) positions of all pedestrians."""
+        if not self.pedestrians:
+            return np.zeros((0, 2))
+        return np.array([p.position for p in self.pedestrians])
+
+    def step(
+        self,
+        extra_obstacles: np.ndarray,
+        dt: float,
+        extra_speeds: np.ndarray | None = None,
+    ) -> None:
+        """Advance all background agents one step.
+
+        ``extra_obstacles`` are positions of agents outside the manager
+        (the expert fleet / the ego) that background cars must avoid;
+        ``extra_speeds`` are their speeds (pedestrians cross in front of
+        stopped cars, so speed matters).
+        """
+        extra_obstacles = extra_obstacles.reshape(-1, 2)
+        if extra_speeds is None:
+            extra_speeds = np.full(len(extra_obstacles), 1.0)
+        car_pos = self.car_positions()
+        ped_pos = self.pedestrian_positions()
+        all_pos = np.vstack([car_pos, ped_pos, extra_obstacles])
+        for i, car in enumerate(self.cars):
+            # Every agent except this car itself is an obstacle.
+            mask = np.ones(len(all_pos), dtype=bool)
+            mask[i] = False
+            near = road_obstacles(self._town, all_pos[mask], car.state.position)
+            car.step(near, dt)
+        all_cars = np.vstack([car_pos, extra_obstacles])
+        car_speeds = np.concatenate(
+            [np.array([c.state.speed for c in self.cars]), extra_speeds]
+        )
+        for ped in self.pedestrians:
+            gaps = (
+                np.linalg.norm(all_cars - ped.position, axis=1)
+                if len(all_cars)
+                else np.zeros(0)
+            )
+            near_mask = gaps < 16.0 if len(gaps) else np.zeros(0, dtype=bool)
+            ped.step(
+                dt,
+                car_positions=all_cars[near_mask] if len(all_cars) else all_cars,
+                car_speeds=car_speeds[near_mask] if len(all_cars) else car_speeds,
+            )
+
+
+def _nearby(positions: np.ndarray, center: np.ndarray, radius: float) -> np.ndarray:
+    """Filter ``positions`` to those within ``radius`` of ``center``."""
+    if len(positions) == 0:
+        return positions
+    dist = np.linalg.norm(positions - center, axis=1)
+    return positions[dist < radius]
+
+
+def road_obstacles(
+    town: TownMap, positions: np.ndarray, center: np.ndarray, radius: float = 45.0
+) -> np.ndarray:
+    """Obstacles a driver actually reacts to.
+
+    Keeps agents that are near ``center`` and on the pavement — drivers
+    do not brake for people standing on the sidewalk, which would
+    deadlock traffic against curb-waiting pedestrians.
+    """
+    if len(positions) == 0:
+        return positions
+    dist = np.linalg.norm(positions - center, axis=1)
+    near = dist < radius
+    if not near.any():
+        return positions[near]
+    candidates = positions[near]
+    on_road = town.occupancy_at(candidates)
+    return candidates[on_road]

@@ -1,0 +1,234 @@
+"""The simulated world: expert fleet + background traffic + collisions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.random import spawn_rng
+from repro.sim.autopilot import ExpertAutopilot
+from repro.sim.kinematics import VehicleState, advance
+from repro.sim.map import TownMap
+from repro.sim.router import RoutePlan, random_route
+from repro.sim.traffic import TrafficManager, road_obstacles
+
+__all__ = ["WorldConfig", "ExpertVehicle", "World", "CAR_RADIUS", "PED_RADIUS"]
+
+CAR_RADIUS = 1.2  # collision circle of a car (~half its width + margin)
+PED_RADIUS = 0.4  # collision circle of a pedestrian
+
+
+@dataclass
+class WorldConfig:
+    """World construction parameters (paper defaults, see §IV-A)."""
+
+    map_size: float = 1000.0
+    grid_n: int = 6
+    n_vehicles: int = 32
+    n_background_cars: int = 50
+    n_pedestrians: int = 250
+    dt: float = 0.1
+    snapshot_interval: float = 0.5  # 2 fps, as the paper collects data
+    min_route_length: float = 250.0
+    seed: int = 0
+    rural: bool = True
+    #: Fleet data heterogeneity: vehicles get a home district (map
+    #: quadrant) their route endpoints stay in.  1 disables districts.
+    n_districts: int = 1
+    #: Fraction of trips whose destination leaves the home district
+    #: (commutes); keeps every road geometry — in particular straight
+    #: runs through intersections — represented in everyone's data.
+    out_of_district_prob: float = 0.25
+    #: Skew pedestrian spawn density across districts (heterogeneous
+    #: hazard exposure); requires n_districts > 1.
+    ped_district_skew: bool = False
+
+
+@dataclass
+class ExpertVehicle:
+    """One expert autopilot of the learning fleet."""
+
+    vehicle_id: str
+    state: VehicleState
+    pilot: ExpertAutopilot
+    rng: np.random.Generator
+    district: int = 0
+
+    @property
+    def plan(self) -> RoutePlan:
+        """The vehicle's current route plan."""
+        return self.pilot.plan
+
+
+@dataclass
+class Snapshot:
+    """Everything recorded about the world at one frame time."""
+
+    time: float
+    vehicle_states: dict[str, VehicleState]
+    vehicle_commands: dict[str, int]
+    vehicle_plans: dict[str, RoutePlan]
+    bg_car_positions: np.ndarray  # background cars only
+    pedestrian_positions: np.ndarray
+
+    def other_car_positions(self, vehicle_id: str) -> np.ndarray:
+        """All cars except ``vehicle_id``: remaining fleet + background."""
+        fleet = [
+            s.position for vid, s in self.vehicle_states.items() if vid != vehicle_id
+        ]
+        fleet_arr = np.array(fleet) if fleet else np.zeros((0, 2))
+        return np.vstack([fleet_arr, self.bg_car_positions])
+
+
+class World:
+    """Steps the full simulation and records snapshots at frame rate."""
+
+    def __init__(self, config: WorldConfig, town: TownMap | None = None):
+        self.config = config
+        self.town = town or TownMap(
+            size=config.map_size,
+            grid_n=config.grid_n,
+            rural=config.rural,
+            seed=config.seed,
+        )
+        self.time = 0.0
+        self._since_snapshot = 0.0
+        self.snapshots: list[Snapshot] = []
+        self.vehicles: list[ExpertVehicle] = []
+        for i in range(config.n_vehicles):
+            rng = spawn_rng(config.seed, f"vehicle-{i}")
+            district = i % config.n_districts
+            plan = random_route(
+                self.town,
+                rng,
+                min_length=config.min_route_length,
+                nodes=self._route_endpoints(district, rng),
+            )
+            start = plan.point_at(0.0)
+            self.vehicles.append(
+                ExpertVehicle(
+                    vehicle_id=f"v{i}",
+                    state=VehicleState(start[0], start[1], plan.heading_at(0.0), 0.0),
+                    pilot=ExpertAutopilot(plan),
+                    rng=rng,
+                    district=district,
+                )
+            )
+        self.traffic = TrafficManager(
+            self.town,
+            config.n_background_cars,
+            config.n_pedestrians,
+            spawn_rng(config.seed, "traffic"),
+            ped_district_weights=self._ped_district_weights(),
+            n_districts=config.n_districts,
+        )
+
+    def _district_nodes(self, district: int) -> list | None:
+        if self.config.n_districts <= 1:
+            return None
+        return self.town.district_nodes(district, self.config.n_districts)
+
+    def _route_endpoints(self, district: int, rng: np.random.Generator) -> list | None:
+        """Endpoint candidates for one trip: usually the home district,
+        sometimes anywhere (a commute out of the district)."""
+        if self.config.n_districts <= 1:
+            return None
+        if rng.uniform() < self.config.out_of_district_prob:
+            return None
+        return self.town.district_nodes(district, self.config.n_districts)
+
+    def _ped_district_weights(self) -> np.ndarray | None:
+        """Skewed pedestrian density: some districts are crowded, some
+        nearly empty, so hazard exposure differs across the fleet."""
+        if not self.config.ped_district_skew or self.config.n_districts <= 1:
+            return None
+        k = self.config.n_districts
+        weights = np.linspace(0.2, 2.0, k)
+        return weights / weights.sum()
+
+    # -- stepping ----------------------------------------------------------
+
+    def vehicle_positions(self) -> np.ndarray:
+        """(n, 2) array of the fleet's current positions."""
+        if not self.vehicles:
+            return np.zeros((0, 2))
+        return np.array([v.state.position for v in self.vehicles])
+
+    def all_car_positions(self) -> np.ndarray:
+        """Expert fleet plus background cars, stacked."""
+        return np.vstack([self.vehicle_positions(), self.traffic.car_positions()])
+
+    def step(self) -> None:
+        """Advance the world by one control timestep."""
+        dt = self.config.dt
+        fleet_pos = self.vehicle_positions()
+        bg_cars = self.traffic.car_positions()
+        peds = self.traffic.pedestrian_positions()
+        everything = np.vstack([fleet_pos, bg_cars, peds])
+        for i, vehicle in enumerate(self.vehicles):
+            if vehicle.pilot.done():
+                self._assign_new_route(vehicle)
+            mask = np.ones(len(everything), dtype=bool)
+            mask[i] = False
+            near = road_obstacles(self.town, everything[mask], vehicle.state.position)
+            turn_rate, accel = vehicle.pilot.control(vehicle.state, near, dt=dt)
+            vehicle.state = advance(vehicle.state, turn_rate, accel, dt)
+        fleet_speeds = np.array([v.state.speed for v in self.vehicles])
+        self.traffic.step(fleet_pos, dt, extra_speeds=fleet_speeds)
+        self.time += dt
+        self._since_snapshot += dt
+        if self._since_snapshot >= self.config.snapshot_interval - 1e-9:
+            self._take_snapshot()
+            self._since_snapshot = 0.0
+
+    def run(self, duration: float) -> None:
+        """Step the world for ``duration`` simulated seconds."""
+        steps = int(round(duration / self.config.dt))
+        for _ in range(steps):
+            self.step()
+
+    def _assign_new_route(self, vehicle: ExpertVehicle) -> None:
+        node = self.town.nearest_node(vehicle.state.position)
+        plan = random_route(
+            self.town,
+            vehicle.rng,
+            min_length=self.config.min_route_length,
+            start=node,
+            nodes=self._route_endpoints(vehicle.district, vehicle.rng),
+        )
+        vehicle.pilot = ExpertAutopilot(plan)
+
+    def _take_snapshot(self) -> None:
+        self.snapshots.append(
+            Snapshot(
+                time=self.time,
+                vehicle_states={v.vehicle_id: v.state.copy() for v in self.vehicles},
+                vehicle_commands={v.vehicle_id: v.pilot.command() for v in self.vehicles},
+                vehicle_plans={v.vehicle_id: v.plan for v in self.vehicles},
+                bg_car_positions=self.traffic.car_positions(),
+                pedestrian_positions=self.traffic.pedestrian_positions(),
+            )
+        )
+
+    # -- collision queries ---------------------------------------------------
+
+    def check_collision(
+        self, position: np.ndarray, exclude_index: int | None = None
+    ) -> bool:
+        """Whether a car at ``position`` overlaps any other agent.
+
+        ``exclude_index`` skips one expert vehicle (the queried one).
+        """
+        fleet = self.vehicle_positions()
+        if exclude_index is not None and len(fleet):
+            fleet = np.delete(fleet, exclude_index, axis=0)
+        cars = np.vstack([fleet, self.traffic.car_positions()])
+        if len(cars):
+            if (np.linalg.norm(cars - position, axis=1) < 2 * CAR_RADIUS).any():
+                return True
+        peds = self.traffic.pedestrian_positions()
+        if len(peds):
+            if (np.linalg.norm(peds - position, axis=1) < CAR_RADIUS + PED_RADIUS).any():
+                return True
+        return False

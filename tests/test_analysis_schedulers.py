@@ -1,0 +1,119 @@
+"""Tests for curve analysis helpers and LR schedulers / grad clipping."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.analysis import (
+    area_under_curve,
+    convergence_summary,
+    improvement_rate,
+    relative_slowdown,
+    time_to_threshold,
+)
+from repro.nn import SGD, Adam
+from repro.nn.params import Parameter
+from repro.nn.schedulers import CosineLR, StepLR, clip_grad_norm
+
+
+GRID = np.linspace(0.0, 100.0, 11)
+FAST = np.linspace(5.0, 0.5, 11)
+SLOW = np.linspace(5.0, 0.5, 11) * 0 + np.linspace(5.0, 1.4, 11)
+
+
+class TestTimeToThreshold:
+    def test_interpolates_between_samples(self):
+        grid = np.array([0.0, 10.0])
+        curve = np.array([2.0, 0.0])
+        assert time_to_threshold(grid, curve, 1.0) == pytest.approx(5.0)
+
+    def test_already_below_at_start(self):
+        assert time_to_threshold(GRID, FAST, 10.0) == 0.0
+
+    def test_never_reached(self):
+        assert time_to_threshold(GRID, FAST, 0.0) == np.inf
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            time_to_threshold(GRID, FAST[:-1], 1.0)
+
+
+class TestRelativeSlowdown:
+    def test_slower_curve_higher_ratio(self):
+        ratio = relative_slowdown(GRID, FAST, SLOW, threshold=2.0)
+        assert ratio > 1.0
+
+    def test_equal_curves_ratio_one(self):
+        assert relative_slowdown(GRID, FAST, FAST.copy(), threshold=2.0) == pytest.approx(1.0)
+
+    def test_slow_never_converges(self):
+        assert relative_slowdown(GRID, FAST, SLOW, threshold=1.0) == np.inf
+
+    def test_neither_converges(self):
+        assert relative_slowdown(GRID, FAST, SLOW, threshold=0.01) == 1.0
+
+
+class TestCurveStats:
+    def test_auc_of_constant(self):
+        assert area_under_curve(GRID, np.full(11, 2.0)) == pytest.approx(200.0)
+
+    def test_improvement_rate(self):
+        assert improvement_rate(GRID, FAST) == pytest.approx(4.5 / 100.0)
+
+    def test_summary_keys(self):
+        summary = convergence_summary(GRID, {"a": FAST, "b": SLOW})
+        assert set(summary) == {"a", "b"}
+        assert set(summary["a"]) == {"final", "time_to_threshold", "auc", "rate"}
+        assert summary["a"]["time_to_threshold"] <= summary["b"]["time_to_threshold"]
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = StepLR(opt, step_size=10, gamma=0.5)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_step_lr_validation(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=5, gamma=0.0)
+
+    def test_cosine_lr_endpoints(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineLR(opt, total_steps=100, min_lr=0.1)
+        sched.step()
+        assert opt.lr < 1.0
+        for _ in range(200):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_halfway(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineLR(opt, total_steps=2, min_lr=0.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestClipGradNorm:
+    def test_large_gradient_scaled(self):
+        p = Parameter(np.zeros(4))
+        p.grad += 3.0  # norm = 6
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(6.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_small_gradient_untouched(self):
+        p = Parameter(np.zeros(4))
+        p.grad += 0.1
+        clip_grad_norm([p], max_norm=10.0)
+        assert np.allclose(p.grad, 0.1)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.zeros(1))], 0.0)

@@ -1,0 +1,119 @@
+"""CLI command behaviours with the heavy machinery stubbed out."""
+
+import numpy as np
+import pytest
+
+from repro import cli
+
+
+class FakeTrainer:
+    class config:
+        duration = 100.0
+        lambda_c = 0.02
+        wireless_loss = True
+        seed = 1
+
+    class loss_curve:  # noqa: N801 - mimics TimeSeriesRecorder surface
+        @staticmethod
+        def keys():
+            return ["v0"]
+
+        @staticmethod
+        def series(key):
+            return np.array([0.0, 100.0]), np.array([5.0, 1.0])
+
+    class counters:
+        @staticmethod
+        def as_dict():
+            return {"chats": 3.0}
+
+
+class FakeResult:
+    method = "LbChat"
+    trainer = FakeTrainer()
+    receive_rate = 0.8
+
+    def __init__(self):
+        from repro.nn import make_driving_model
+
+        class Node:
+            model = make_driving_model((3, 8, 8), 4, 16, seed=0)
+
+        self.nodes = [Node()]
+
+    def loss_curve(self, n_points=11):
+        grid = np.linspace(0.0, 100.0, n_points)
+        return grid, np.linspace(5.0, 1.0, n_points)
+
+
+class FakeContext:
+    pass
+
+
+def test_cmd_run_with_stubs(monkeypatch, capsys, tmp_path):
+    monkeypatch.setattr(
+        "repro.experiments.io.cached_context", lambda scale: FakeContext()
+    )
+    monkeypatch.setattr(
+        "repro.experiments.runner.run_method",
+        lambda context, method, wireless, seed, coreset_size: FakeResult(),
+    )
+    out_json = tmp_path / "run.json"
+    model_path = tmp_path / "model.npz"
+    code = cli.main(
+        [
+            "run",
+            "--method",
+            "LbChat",
+            "--out",
+            str(out_json),
+            "--save-model",
+            str(model_path),
+        ]
+    )
+    assert code == 0
+    assert out_json.exists()
+    assert model_path.exists()
+    output = capsys.readouterr().out
+    assert "receive rate: 80.0%" in output
+
+
+def test_cmd_rates_with_stubs(monkeypatch, capsys):
+    monkeypatch.setattr(
+        "repro.experiments.figures.receive_rates",
+        lambda scale, seed: {"LbChat": 0.77, "DP": 0.47},
+    )
+    assert cli.main(["rates"]) == 0
+    output = capsys.readouterr().out
+    assert "77.0%" in output and "47.0%" in output
+
+
+def test_cmd_fig_with_stubs(monkeypatch, capsys):
+    from repro.experiments.figures import FigureResult
+
+    fake = FigureResult(
+        title="Fig. 2(b)",
+        grid=np.linspace(0, 100, 5),
+        curves={"LbChat": np.linspace(5, 1, 5)},
+    )
+    monkeypatch.setattr(
+        "repro.experiments.figures.fig2", lambda scale, wireless, seed: fake
+    )
+    assert cli.main(["fig", "2b"]) == 0
+    assert "Fig. 2(b)" in capsys.readouterr().out
+
+
+def test_cmd_table_with_stubs(monkeypatch, capsys):
+    from repro.experiments.tables import CONDITIONS, TableResult
+
+    fake = TableResult(
+        title="Table III",
+        columns=["LbChat"],
+        values={cond: {"LbChat": 90.0} for cond in CONDITIONS},
+        receive_rates={"LbChat": 0.8},
+    )
+    monkeypatch.setattr("repro.experiments.tables.table3", lambda scale, seed: fake)
+    assert cli.main(["table", "3"]) == 0
+    output = capsys.readouterr().out
+    assert "Table III" in output
+    assert "LbChat=80%" in output

@@ -1,0 +1,119 @@
+"""Tests for the pairwise chat protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.chat import (
+    equal_compression_decision,
+    estimated_chat_bytes,
+    pairwise_chat,
+)
+from repro.net import ChannelConfig, WirelessModel
+
+CHANNEL = ChannelConfig()
+CLEAN = WirelessModel(enabled=False)
+LOSSY = WirelessModel()
+
+
+def run_chat(node_pair, distance=50.0, deadline=60.0, wireless=CLEAN, **kwargs):
+    node_a, node_b = node_pair
+    return pairwise_chat(
+        node_a,
+        node_b,
+        distance_fn=lambda t: distance,
+        start_time=0.0,
+        contact_deadline=deadline,
+        wireless=wireless,
+        channel=CHANNEL,
+        time_budget=15.0,
+        **kwargs,
+    )
+
+
+class TestFullChat:
+    def test_successful_chat_exchanges_everything(self, node_pair):
+        outcome = run_chat(node_pair)
+        assert outcome.coresets_exchanged
+        assert outcome.absorbed_by_i > 0 and outcome.absorbed_by_j > 0
+        assert outcome.duration > 0
+        assert outcome.psi is not None
+
+    def test_chat_mutates_datasets(self, node_pair):
+        node_a, node_b = node_pair
+        before_a, before_b = len(node_a.dataset), len(node_b.dataset)
+        run_chat(node_pair)
+        assert len(node_a.dataset) > before_a
+        assert len(node_b.dataset) > before_b
+
+    def test_trained_peer_model_gets_transferred(self, node_pair):
+        node_a, node_b = node_pair
+        for _ in range(80):
+            node_b.train_step()
+        outcome = run_chat(node_pair)
+        # b's model is valuable to a, so a should have attempted receipt.
+        assert outcome.i_attempted
+        assert outcome.i_received_model
+
+    def test_out_of_range_aborts_early(self, node_pair):
+        outcome = run_chat(node_pair, distance=1000.0, wireless=LOSSY)
+        assert outcome.aborted == "assist"
+        assert not outcome.coresets_exchanged
+
+    def test_tiny_deadline_cuts_coresets(self, node_pair):
+        outcome = run_chat(node_pair, deadline=0.01)
+        assert outcome.aborted in ("assist", "coresets")
+
+    def test_duration_bounded_by_budget_plus_overhead(self, node_pair):
+        outcome = run_chat(node_pair)
+        # Coresets+assist are sub-second; models bounded by T_B.
+        assert outcome.duration < 15.0 + 5.0
+
+
+class TestVariants:
+    def test_coreset_only_skips_models(self, node_pair):
+        outcome = run_chat(node_pair, coreset_only=True)
+        assert outcome.coresets_exchanged
+        assert not outcome.i_attempted and not outcome.j_attempted
+        assert outcome.psi is None
+        assert outcome.absorbed_by_i > 0
+
+    def test_equal_compression_symmetric_psi(self, node_pair):
+        node_a, node_b = node_pair
+        for _ in range(40):
+            node_b.train_step()
+        outcome = run_chat(node_pair, equal_compression=True)
+        assert outcome.psi.psi_i == pytest.approx(outcome.psi.psi_j)
+
+    def test_mean_aggregation_runs(self, node_pair):
+        node_a, node_b = node_pair
+        for _ in range(40):
+            node_b.train_step()
+        outcome = run_chat(node_pair, mean_aggregation=True)
+        assert outcome.coresets_exchanged
+
+
+class TestEqualCompressionDecision:
+    def test_fills_window(self):
+        decision = equal_compression_decision(
+            model_size_bytes=52e6, bandwidth_bps=31e6, time_budget=15.0, contact_duration=100.0
+        )
+        assert decision.exchange_time == pytest.approx(15.0, rel=1e-6)
+        assert decision.psi_i == decision.psi_j
+
+    def test_caps_at_one(self):
+        decision = equal_compression_decision(
+            model_size_bytes=1e6, bandwidth_bps=31e6, time_budget=15.0, contact_duration=100.0
+        )
+        assert decision.psi_i == 1.0
+
+
+class TestEstimatedChatBytes:
+    def test_includes_coresets_and_model(self, node_pair):
+        node_a, node_b = node_pair
+        total = estimated_chat_bytes(node_a, node_b, psi_total=1.0)
+        expected = (
+            node_a.coreset.nominal_bytes
+            + node_b.coreset.nominal_bytes
+            + node_a.config.nominal_model_bytes
+        )
+        assert total == expected

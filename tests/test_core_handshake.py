@@ -1,0 +1,130 @@
+"""Tests for the §III-A handshake protocol and its deadlock handling."""
+
+import pytest
+
+from repro.core.handshake import HandshakeMediator, PeerState, ProposalOutcome
+from repro.engine import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def mediator(sim):
+    return HandshakeMediator(sim, max_wait=2.0, signal_delay=0.05)
+
+
+def run_proposal(sim, mediator, proposer, target, log):
+    def proc():
+        outcome = yield from mediator.propose(proposer, target)
+        log.append((proposer, target, outcome, sim.now))
+
+    return sim.process(proc())
+
+
+class TestBasics:
+    def test_idle_target_accepts(self, sim, mediator):
+        log = []
+        run_proposal(sim, mediator, 0, 1, log)
+        sim.run()
+        assert log == [(0, 1, ProposalOutcome.ACCEPTED, pytest.approx(0.05))]
+        assert mediator.state(0) is PeerState.CHATTING
+        assert mediator.state(1) is PeerState.CHATTING
+
+    def test_chatting_target_rejects(self, sim, mediator):
+        mediator.begin_chat(1, 2)
+        log = []
+        run_proposal(sim, mediator, 0, 1, log)
+        sim.run()
+        assert log[0][2] is ProposalOutcome.REJECTED
+        assert mediator.state(0) is PeerState.IDLE
+
+    def test_end_chat_restores_idle(self, sim, mediator):
+        mediator.begin_chat(0, 1)
+        mediator.end_chat(0, 1)
+        assert mediator.state(0) is PeerState.IDLE
+        assert mediator.state(1) is PeerState.IDLE
+
+    def test_self_proposal_rejected(self, sim, mediator):
+        with pytest.raises(ValueError):
+            list(mediator.propose(3, 3))
+
+    def test_non_idle_proposer_rejected(self, sim, mediator):
+        mediator.begin_chat(0, 1)
+
+        def proc():
+            yield from mediator.propose(0, 2)
+
+        sim.process(proc())
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+
+class TestMutualProposals:
+    def test_simultaneous_mutual_accepts_once(self, sim, mediator):
+        log = []
+        run_proposal(sim, mediator, 0, 1, log)
+        run_proposal(sim, mediator, 1, 0, log)
+        sim.run()
+        outcomes = {entry[2] for entry in log}
+        assert outcomes == {ProposalOutcome.ACCEPTED}
+        assert mediator.state(0) is PeerState.CHATTING
+        assert mediator.state(1) is PeerState.CHATTING
+
+
+class TestDeadlockBreaking:
+    def test_proposal_cycle_resolves(self, sim, mediator):
+        """A->B, B->C, C->A: rejections break the cycle, nobody hangs."""
+        log = []
+        for proposer, target in ((0, 1), (1, 2), (2, 0)):
+            run_proposal(sim, mediator, proposer, target, log)
+        sim.run()
+        assert len(log) == 3
+        assert sim.now < mediator.max_wait + 1.0
+        # Every proposal resolved; no vehicle is stuck PROPOSING.
+        for vehicle in (0, 1, 2):
+            assert mediator.state(vehicle) is not PeerState.PROPOSING
+
+    def test_timeout_fires_when_no_answer(self, sim):
+        mediator = HandshakeMediator(sim, max_wait=1.0, signal_delay=0.05)
+        # Monkeypatch delivery away so the proposal is never answered.
+        mediator._deliver = lambda proposal: None
+        log = []
+        run_proposal(sim, mediator, 0, 1, log)
+        sim.run()
+        assert log[0][2] is ProposalOutcome.TIMED_OUT
+        assert log[0][3] == pytest.approx(1.0)
+        assert mediator.state(0) is PeerState.IDLE
+
+    def test_staggered_proposals_first_wins(self, sim, mediator):
+        log = []
+        run_proposal(sim, mediator, 0, 2, log)
+
+        def late():
+            yield sim.timeout(0.01)
+            outcome = yield from mediator.propose(1, 2)
+            log.append((1, 2, outcome, sim.now))
+
+        sim.process(late())
+        sim.run()
+        by_proposer = {entry[0]: entry[2] for entry in log}
+        assert by_proposer[0] is ProposalOutcome.ACCEPTED
+        assert by_proposer[1] is ProposalOutcome.REJECTED
+
+    def test_rejected_proposer_can_retry(self, sim, mediator):
+        mediator.begin_chat(1, 2)
+        log = []
+
+        def retrying():
+            outcome = yield from mediator.propose(0, 1)
+            log.append(outcome)
+            if outcome is not ProposalOutcome.ACCEPTED:
+                mediator.end_chat(1, 2)  # the other chat finishes
+                outcome = yield from mediator.propose(0, 1)
+                log.append(outcome)
+
+        sim.process(retrying())
+        sim.run()
+        assert log == [ProposalOutcome.REJECTED, ProposalOutcome.ACCEPTED]

@@ -1,0 +1,122 @@
+"""Tests for partner-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.lbchat import LbChatConfig, LbChatTrainer
+from repro.core.selection import (
+    SELECTION_POLICIES,
+    get_selection_policy,
+    select_longest_contact,
+    select_nearest,
+    select_priority,
+    select_random,
+)
+from repro.sim.dataset import DrivingDataset
+from repro.sim.synthetic_traces import crossing_flows_traces
+from tests.conftest import make_node
+
+
+@pytest.fixture()
+def trainer(fleet_datasets):
+    nodes = [
+        make_node(vid, ds, coreset_size=8, seed=15)
+        for vid, ds in sorted(fleet_datasets.items())
+    ]
+    traces = crossing_flows_traces(len(nodes), duration=300.0, seed=7)
+    validation = DrivingDataset(
+        [fleet_datasets["v0"].frame(i) for i in range(0, 30, 6)]
+    )
+    return LbChatTrainer(
+        nodes,
+        traces,
+        validation,
+        LbChatConfig(duration=200.0, train_interval=4.0, seed=1),
+    )
+
+
+class TestRegistry:
+    def test_all_policies_present(self):
+        assert set(SELECTION_POLICIES) == {
+            "random",
+            "nearest",
+            "longest_contact",
+            "priority",
+        }
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ValueError):
+            get_selection_policy("psychic")
+
+
+class TestPolicies:
+    def test_all_return_none_for_no_candidates(self, trainer):
+        for policy in SELECTION_POLICIES.values():
+            assert policy(trainer, 0, []) is None
+
+    def test_all_return_member_of_candidates(self, trainer):
+        candidates = [1, 2, 3]
+        for name, policy in SELECTION_POLICIES.items():
+            choice = policy(trainer, 0, candidates)
+            if name == "priority" and choice is None:
+                continue  # Eq. 5 may reject all (everyone unreachable)
+            assert choice in candidates, name
+
+    def test_nearest_picks_closest(self, trainer):
+        now = trainer.sim.now
+        candidates = [1, 2, 3]
+        choice = select_nearest(trainer, 0, candidates)
+        dists = {j: trainer.traces.distance(0, j, now) for j in candidates}
+        assert dists[choice] == min(dists.values())
+
+    def test_longest_contact_picks_same_direction(self, trainer):
+        # In crossing flows, even-indexed vehicles travel together ->
+        # their mutual contact outlasts any cross-flow contact.
+        candidates = [1, 2]
+        choice = select_longest_contact(trainer, 0, candidates)
+        est_same = trainer.contact_estimate(0, 2, 1.0).contact_duration
+        est_cross = trainer.contact_estimate(0, 1, 1.0).contact_duration
+        if est_same > est_cross:
+            assert choice == 2
+
+    def test_random_uses_node_rng(self, trainer):
+        choices = {select_random(trainer, 0, [1, 2, 3, 4, 5]) for _ in range(30)}
+        assert len(choices) > 1
+
+    def test_priority_returns_none_when_all_scores_zero(self, trainer):
+        # Vehicle 0 vs peers far out of range: z = p = 0 for all.
+        far = trainer.traces.positions.copy()
+        trainer.traces.positions[:, 1:, :] += 1e6
+        try:
+            assert select_priority(trainer, 0, [1, 2]) is None
+        finally:
+            trainer.traces.positions[:] = far
+
+
+class TestTrainerConfig:
+    def test_selection_policy_respected(self, fleet_datasets, traces):
+        nodes = [
+            make_node(vid, ds, coreset_size=8, seed=16)
+            for vid, ds in sorted(fleet_datasets.items())
+        ]
+        validation = DrivingDataset(
+            [fleet_datasets["v0"].frame(i) for i in range(0, 30, 6)]
+        )
+        config = LbChatConfig(duration=80.0, train_interval=4.0, seed=1)
+        config.selection_policy = "nearest"
+        trainer = LbChatTrainer(nodes, traces, validation, config)
+        trainer.run()  # exercises the nearest policy end to end
+
+    def test_unknown_policy_raises_at_scan(self, fleet_datasets, traces):
+        nodes = [
+            make_node(vid, ds, coreset_size=8, seed=17)
+            for vid, ds in sorted(fleet_datasets.items())
+        ]
+        validation = DrivingDataset(
+            [fleet_datasets["v0"].frame(i) for i in range(0, 30, 6)]
+        )
+        config = LbChatConfig(duration=80.0, train_interval=4.0, seed=1)
+        config.selection_policy = "bogus"
+        trainer = LbChatTrainer(nodes, traces, validation, config)
+        with pytest.raises(ValueError):
+            trainer.run()

@@ -1,0 +1,82 @@
+"""Tests for balanced batch sampling and trace persistence."""
+
+import numpy as np
+
+from repro.nn.model import N_COMMANDS
+from repro.sim.dataset import DrivingDataset, Frame
+from repro.sim.traces import MobilityTraces
+
+
+def make_dataset(counts):
+    """A dataset with `counts[c]` frames of command c."""
+    frames = []
+    i = 0
+    for cmd, n in enumerate(counts):
+        for _ in range(n):
+            frames.append(
+                Frame(
+                    f"f{i}",
+                    np.zeros((1, 4, 4), np.float32),
+                    cmd,
+                    np.zeros(4, np.float32),
+                    1.0,
+                )
+            )
+            i += 1
+    return DrivingDataset(frames)
+
+
+class TestBalancedSampling:
+    def test_rare_commands_overrepresented(self):
+        ds = make_dataset([97, 1, 1, 1])
+        rng = np.random.default_rng(0)
+        _, commands, _, _ = ds.sample_batch(64, rng, balance_commands=True)
+        counts = np.bincount(commands, minlength=N_COMMANDS)
+        # Each present command gets ~a quarter of the batch.
+        assert counts.min() >= 10
+
+    def test_unbalanced_respects_frequency(self):
+        ds = make_dataset([97, 1, 1, 1])
+        rng = np.random.default_rng(0)
+        _, commands, _, _ = ds.sample_batch(64, rng, balance_commands=False)
+        counts = np.bincount(commands, minlength=N_COMMANDS)
+        assert counts[0] > 40
+
+    def test_batch_size_respected(self):
+        ds = make_dataset([10, 10])
+        rng = np.random.default_rng(0)
+        bev, commands, targets, idx = ds.sample_batch(16, rng, balance_commands=True)
+        assert len(commands) == 16
+
+    def test_single_command_dataset(self):
+        ds = make_dataset([20])
+        rng = np.random.default_rng(0)
+        _, commands, _, _ = ds.sample_batch(8, rng, balance_commands=True)
+        assert (commands == 0).all()
+
+    def test_weights_still_matter_within_command(self):
+        frames = [
+            Frame("a", np.zeros((1, 4, 4), np.float32), 0, np.zeros(4, np.float32), 1e-9),
+            Frame("b", np.zeros((1, 4, 4), np.float32), 0, np.zeros(4, np.float32), 1.0),
+        ]
+        ds = DrivingDataset(frames)
+        rng = np.random.default_rng(0)
+        _, _, _, idx = ds.sample_batch(64, rng, balance_commands=True)
+        assert (np.asarray(idx) == 1).mean() > 0.95
+
+
+class TestTracePersistence:
+    def test_roundtrip(self, tmp_path, traces):
+        path = tmp_path / "traces.npz"
+        traces.save(path)
+        restored = MobilityTraces.load(path)
+        assert restored.vehicle_ids == traces.vehicle_ids
+        assert np.array_equal(restored.times, traces.times)
+        assert np.array_equal(restored.positions, traces.positions)
+
+    def test_queries_work_after_load(self, tmp_path, traces):
+        path = tmp_path / "traces.npz"
+        traces.save(path)
+        restored = MobilityTraces.load(path)
+        assert restored.distance(0, 1, 10.0) == traces.distance(0, 1, 10.0)
+        assert restored.neighbors(0, 10.0, 1e9) == traces.neighbors(0, 10.0, 1e9)

@@ -1,0 +1,313 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.engine import Event, Simulator, Timeout
+from repro.engine.events import Interrupt
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        for delay in (1.0, 2.0, 3.0):
+            yield sim.timeout(delay)
+            log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [1.0, 3.0, 6.0]
+
+
+def test_two_processes_interleave_deterministically():
+    sim = Simulator()
+    log = []
+
+    def proc(name, delay):
+        while sim.now < 10:
+            yield sim.timeout(delay)
+            log.append((sim.now, name))
+
+    sim.process(proc("a", 2.0))
+    sim.process(proc("b", 3.0))
+    sim.run(until=7.0)
+    # Ties at t=6.0 break by scheduling order: b armed its 6.0 timeout at
+    # t=3.0, before a armed its own at t=4.0.
+    assert log == [(2.0, "a"), (3.0, "b"), (4.0, "a"), (6.0, "b"), (6.0, "a")]
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100.0)
+
+    sim.process(proc())
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_run_until_beyond_last_event_sets_clock():
+    sim = Simulator()
+    sim.run(until=9.0)
+    assert sim.now == 9.0
+
+
+def test_event_succeed_wakes_waiter_with_value():
+    sim = Simulator()
+    event = sim.event()
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append(value)
+
+    def trigger():
+        yield sim.timeout(4.0)
+        event.succeed("payload")
+
+    sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    event = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield event
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def trigger():
+        yield sim.timeout(1.0)
+        event.fail(RuntimeError("boom"))
+
+    sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+
+
+def test_waiting_on_triggered_event_resumes_immediately():
+    sim = Simulator()
+    event = sim.event().succeed("late")
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append((sim.now, value))
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [(0.0, "late")]
+
+
+def test_process_is_event_with_return_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return 17
+
+    results = []
+
+    def parent():
+        value = yield sim.process(child())
+        results.append((sim.now, value))
+
+    sim.process(parent())
+    sim.run()
+    assert results == [(2.0, 17)]
+
+
+def test_interrupt_stops_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("woke")
+        except Interrupt as interrupt:
+            log.append(("interrupted", sim.now, interrupt.cause))
+
+    proc = sim.process(sleeper())
+
+    def killer():
+        yield sim.timeout(3.0)
+        proc.interrupt("reason")
+
+    sim.process(killer())
+    sim.run()
+    assert log == [("interrupted", 3.0, "reason")]
+
+
+def test_unhandled_interrupt_ends_process_cleanly():
+    sim = Simulator()
+
+    def sleeper():
+        yield sim.timeout(100.0)
+
+    proc = sim.process(sleeper())
+
+    def killer():
+        yield sim.timeout(1.0)
+        proc.interrupt()
+
+    sim.process(killer())
+    sim.run()
+    assert proc.triggered and proc.ok
+
+
+def test_all_of_collects_all_values():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        values = yield sim.all_of([sim.timeout(1.0, "a"), sim.timeout(5.0, "b")])
+        got.append((sim.now, values))
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [(5.0, ["a", "b"])]
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        value = yield sim.any_of([sim.timeout(4.0, "slow"), sim.timeout(1.0, "fast")])
+        got.append((sim.now, value))
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [(1.0, "fast")]
+
+
+def test_call_at_runs_callback_at_time():
+    sim = Simulator()
+    log = []
+    sim.call_at(7.5, lambda: log.append(sim.now))
+    sim.run()
+    assert log == [7.5]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+        sim.call_at(1.0, lambda: None)
+
+    sim.process(proc())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_all_of_propagates_failure():
+    sim = Simulator()
+    bad = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield sim.all_of([sim.timeout(5.0), bad])
+        except RuntimeError as exc:
+            caught.append((sim.now, str(exc)))
+
+    def failer():
+        yield sim.timeout(1.0)
+        bad.fail(RuntimeError("nope"))
+
+    sim.process(waiter())
+    sim.process(failer())
+    sim.run()
+    assert caught == [(1.0, "nope")]
+
+
+def test_any_of_empty_succeeds_immediately():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        value = yield sim.any_of([])
+        got.append((sim.now, value))
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [(0.0, None)]
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        values = yield sim.all_of([])
+        got.append(values)
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [[]]
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run()
+    proc.interrupt("late")  # must not raise or re-trigger
+    sim.run()
+    assert proc.ok
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(TypeError):
+        sim.run()

@@ -1,0 +1,117 @@
+"""Unit tests for metric recorders."""
+
+import numpy as np
+import pytest
+
+from repro.engine import CounterSet, ReceiveRateRecorder, TimeSeriesRecorder
+
+
+class TestTimeSeriesRecorder:
+    def test_series_roundtrip(self):
+        rec = TimeSeriesRecorder()
+        rec.record("a", 0.0, 1.0)
+        rec.record("a", 10.0, 0.5)
+        times, values = rec.series("a")
+        assert times.tolist() == [0.0, 10.0]
+        assert values.tolist() == [1.0, 0.5]
+
+    def test_non_monotonic_time_rejected(self):
+        rec = TimeSeriesRecorder()
+        rec.record("a", 5.0, 1.0)
+        with pytest.raises(ValueError):
+            rec.record("a", 4.0, 1.0)
+
+    def test_equal_time_allowed(self):
+        rec = TimeSeriesRecorder()
+        rec.record("a", 5.0, 1.0)
+        rec.record("a", 5.0, 0.9)  # same-time re-record is fine
+
+    def test_value_at_uses_step_interpolation(self):
+        rec = TimeSeriesRecorder()
+        rec.record("a", 0.0, 3.0)
+        rec.record("a", 10.0, 1.0)
+        assert rec.value_at("a", 9.9) == 3.0
+        assert rec.value_at("a", 10.0) == 1.0
+        assert rec.value_at("a", 50.0) == 1.0
+
+    def test_value_at_before_first_raises(self):
+        rec = TimeSeriesRecorder()
+        rec.record("a", 5.0, 1.0)
+        with pytest.raises(ValueError):
+            rec.value_at("a", 4.0)
+
+    def test_mean_curve_averages_across_keys(self):
+        rec = TimeSeriesRecorder()
+        rec.record("a", 0.0, 2.0)
+        rec.record("b", 0.0, 4.0)
+        curve = rec.mean_curve(np.array([0.0, 1.0]))
+        assert curve.tolist() == [3.0, 3.0]
+
+    def test_mean_curve_handles_late_starters(self):
+        rec = TimeSeriesRecorder()
+        rec.record("a", 0.0, 2.0)
+        rec.record("b", 5.0, 4.0)  # b starts later; first value backfills
+        curve = rec.mean_curve(np.array([0.0, 5.0]))
+        assert curve.tolist() == [3.0, 3.0]
+
+    def test_mean_curve_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder().mean_curve(np.array([0.0]))
+
+    def test_final_mean(self):
+        rec = TimeSeriesRecorder()
+        rec.record("a", 0.0, 5.0)
+        rec.record("a", 1.0, 1.0)
+        rec.record("b", 0.0, 3.0)
+        assert rec.final_mean() == 2.0
+
+    def test_keys_sorted(self):
+        rec = TimeSeriesRecorder()
+        rec.record("z", 0.0, 1.0)
+        rec.record("a", 0.0, 1.0)
+        assert rec.keys() == ["a", "z"]
+
+
+class TestReceiveRateRecorder:
+    def test_rate_zero_when_empty(self):
+        assert ReceiveRateRecorder().rate == 0.0
+
+    def test_rate_counts_successes(self):
+        rec = ReceiveRateRecorder()
+        rec.observe("v0", True)
+        rec.observe("v0", False)
+        rec.observe("v1", True)
+        assert rec.attempted == 3
+        assert rec.completed == 2
+        assert rec.rate == pytest.approx(2 / 3)
+
+    def test_per_key_rate(self):
+        rec = ReceiveRateRecorder()
+        rec.observe("v0", True)
+        rec.observe("v0", False)
+        rec.observe("v1", True)
+        assert rec.rate_for("v0") == 0.5
+        assert rec.rate_for("v1") == 1.0
+        assert rec.rate_for("v9") == 0.0
+
+
+class TestCounterSet:
+    def test_default_zero(self):
+        assert CounterSet().get("missing") == 0.0
+
+    def test_accumulates(self):
+        counters = CounterSet()
+        counters.add("x")
+        counters.add("x", 2.5)
+        assert counters.get("x") == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet().add("x", -1.0)
+
+    def test_as_dict_snapshot(self):
+        counters = CounterSet()
+        counters.add("a", 2.0)
+        snapshot = counters.as_dict()
+        counters.add("a", 1.0)
+        assert snapshot == {"a": 2.0}

@@ -1,0 +1,27 @@
+"""Tests for deterministic RNG spawning."""
+
+from repro.engine import spawn_rng
+
+
+def test_same_seed_and_name_reproduces_stream():
+    a = spawn_rng(42, "vehicle-3")
+    b = spawn_rng(42, "vehicle-3")
+    assert a.integers(0, 2**31, 10).tolist() == b.integers(0, 2**31, 10).tolist()
+
+
+def test_different_names_differ():
+    a = spawn_rng(42, "vehicle-3")
+    b = spawn_rng(42, "vehicle-4")
+    assert a.integers(0, 2**31, 10).tolist() != b.integers(0, 2**31, 10).tolist()
+
+
+def test_different_seeds_differ():
+    a = spawn_rng(1, "x")
+    b = spawn_rng(2, "x")
+    assert a.integers(0, 2**31, 10).tolist() != b.integers(0, 2**31, 10).tolist()
+
+
+def test_statistical_sanity():
+    rng = spawn_rng(7, "uniformity")
+    samples = rng.uniform(size=10_000)
+    assert abs(samples.mean() - 0.5) < 0.02

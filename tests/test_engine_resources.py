@@ -1,0 +1,113 @@
+"""Tests for the FIFO Resource primitive."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.engine.resources import Resource
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_immediate_grant_when_free():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    log = []
+
+    def proc():
+        grant = yield from resource.request()
+        log.append(("got", sim.now))
+        resource.release(grant)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [("got", 0.0)]
+    assert resource.in_use == 0
+
+
+def test_fifo_ordering():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def proc(name, hold):
+        grant = yield from resource.request()
+        order.append((name, sim.now))
+        yield sim.timeout(hold)
+        resource.release(grant)
+
+    sim.process(proc("a", 5.0))
+    sim.process(proc("b", 5.0))
+    sim.process(proc("c", 5.0))
+    sim.run()
+    assert order == [("a", 0.0), ("b", 5.0), ("c", 10.0)]
+
+
+def test_capacity_two_parallel():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    order = []
+
+    def proc(name):
+        grant = yield from resource.request()
+        order.append((name, sim.now))
+        yield sim.timeout(10.0)
+        resource.release(grant)
+
+    for name in ("a", "b", "c"):
+        sim.process(proc(name))
+    sim.run()
+    times = dict((name, t) for name, t in order)
+    assert times["a"] == 0.0 and times["b"] == 0.0
+    assert times["c"] == 10.0
+
+
+def test_release_foreign_grant_rejected():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    from repro.engine.resources import Grant
+
+    with pytest.raises(ValueError):
+        resource.release(Grant(99))
+
+
+def test_queue_length_and_available():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    grants = []
+
+    def holder():
+        grant = yield from resource.request()
+        grants.append(grant)
+        yield sim.timeout(100.0)
+
+    def waiter():
+        yield sim.timeout(1.0)
+        grant = yield from resource.request()
+        grants.append(grant)
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run(until=50.0)
+    assert resource.in_use == 1
+    assert resource.queue_length == 1
+    assert resource.available == 0
+
+
+def test_reuse_after_release():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    count = []
+
+    def proc():
+        for _ in range(3):
+            grant = yield from resource.request()
+            count.append(sim.now)
+            yield sim.timeout(1.0)
+            resource.release(grant)
+
+    sim.process(proc())
+    sim.run()
+    assert count == [0.0, 1.0, 2.0]

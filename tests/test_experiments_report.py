@@ -1,0 +1,66 @@
+"""Tests for the reproduction-report generator."""
+
+from pathlib import Path
+
+from repro.experiments.report import (
+    build_report,
+    parse_final_losses,
+    parse_receive_rates,
+)
+
+RATES_TEXT = """Successful model receiving rate (w wireless loss)
+==================================================
+ProxSkip     69.0%
+DFL-DDS      47.1%
+DP           47.2%
+LbChat       75.0%
+"""
+
+CURVES_TEXT = """Fig. 2(b): training loss vs time (w wireless loss)
+==================================================
+t(s)            0       40       80
+------------------------------------
+ProxSkip    6.244    4.281    0.870
+DFL-DDS     6.244    5.456    3.598
+DP          6.302    6.158    1.540
+LbChat      6.339    4.708    0.905
+"""
+
+
+class TestParsers:
+    def test_parse_rates(self):
+        rates = parse_receive_rates(RATES_TEXT)
+        assert rates["LbChat"] == 75.0
+        assert rates["DFL-DDS"] == 47.1
+        assert len(rates) == 4
+
+    def test_parse_final_losses(self):
+        finals = parse_final_losses(CURVES_TEXT)
+        assert finals["ProxSkip"] == 0.870
+        assert finals["LbChat"] == 0.905
+        assert "t(s)" not in finals
+
+
+class TestBuildReport:
+    def test_full_report_with_artifacts(self, tmp_path):
+        (tmp_path / "receive_rates.txt").write_text(RATES_TEXT)
+        (tmp_path / "fig2b_loss_with_wireless.txt").write_text(CURVES_TEXT)
+        (tmp_path / "fig3_lbchat_vs_sco.txt").write_text(
+            "Fig. 3\n====\nt(s)  0  10\nLbChat 6.0 0.9\nSCO 6.0 0.95\n"
+        )
+        report = build_report(tmp_path)
+        assert "# Reproduction report" in report
+        assert "[x] Under wireless loss LbChat converges" in report
+        assert "[x] LbChat's receive rate" in report
+        assert "[x] LbChat converges at least as fast" in report
+        assert "receive_rates.txt" in report
+
+    def test_missing_artifacts_marked_unknown(self, tmp_path):
+        report = build_report(tmp_path)
+        assert "[?]" in report
+
+    def test_failed_claim_marked(self, tmp_path):
+        bad = CURVES_TEXT.replace("0.905", "9.999")
+        (tmp_path / "fig2b_loss_with_wireless.txt").write_text(bad)
+        report = build_report(tmp_path)
+        assert "[ ] Under wireless loss LbChat converges" in report

@@ -1,0 +1,62 @@
+"""Unit tests for TableResult/FigureResult containers and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.tables import CONDITIONS, TableResult
+
+
+class TestTableResult:
+    def _table(self):
+        values = {cond: {"A": 90.0, "B": 70.0} for cond in CONDITIONS}
+        values["Navi. (Dense)"] = {"A": 60.0, "B": 40.0}
+        return TableResult(
+            title="T", columns=["A", "B"], values=values, receive_rates={"A": 0.9}
+        )
+
+    def test_cell_lookup(self):
+        table = self._table()
+        assert table.cell("Navi. (Dense)", "A") == 60.0
+        assert table.cell("Straight", "B") == 70.0
+
+    def test_render_contains_all_conditions(self):
+        text = self._table().render()
+        for cond in CONDITIONS:
+            assert cond in text
+
+    def test_render_numeric_cells(self):
+        text = self._table().render()
+        assert "90" in text and "40" in text
+
+
+class TestFigureResult:
+    def _figure(self):
+        grid = np.linspace(0.0, 100.0, 11)
+        return FigureResult(
+            title="F",
+            grid=grid,
+            curves={
+                "fast": np.linspace(5.0, 0.5, 11),
+                "slow": np.linspace(5.0, 2.0, 11),
+            },
+        )
+
+    def test_final(self):
+        figure = self._figure()
+        assert figure.final("fast") == pytest.approx(0.5)
+        assert figure.final("slow") == pytest.approx(2.0)
+
+    def test_convergence_time_ordering(self):
+        figure = self._figure()
+        assert figure.convergence_time("fast", 2.5) < figure.convergence_time(
+            "slow", 2.5
+        )
+
+    def test_convergence_time_unreached_returns_end(self):
+        figure = self._figure()
+        assert figure.convergence_time("slow", 0.1) == 100.0
+
+    def test_render_mentions_methods(self):
+        text = self._figure().render()
+        assert "fast" in text and "slow" in text

@@ -1,0 +1,110 @@
+"""Glue tests for figures/tables harness with run_method stubbed out.
+
+The real training paths are covered by the benchmark suite; these tests
+pin the orchestration logic (which methods get trained, with which
+flags, and how results are assembled) without any training cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures, tables
+from repro.experiments.configs import CI
+
+
+class FakeTrainer:
+    class config:
+        duration = CI.train_duration
+
+    def __init__(self):
+        from repro.engine import TimeSeriesRecorder
+
+        self.loss_curve = TimeSeriesRecorder()
+        self.loss_curve.record("v0", 0.0, 5.0)
+        self.loss_curve.record("v0", CI.train_duration, 1.0)
+
+
+class FakeResult:
+    def __init__(self, method):
+        self.method = method
+        self.trainer = FakeTrainer()
+        self.receive_rate = 0.75
+        self.nodes = []
+
+    def loss_curve(self, n_points=21):
+        grid = np.linspace(0.0, CI.train_duration, n_points)
+        return grid, np.linspace(5.0, 1.0, n_points)
+
+
+@pytest.fixture()
+def record_calls(monkeypatch):
+    calls = []
+
+    def fake_build_context(scale):
+        return object()
+
+    def fake_run_method(context, method, wireless=True, seed=1, **kwargs):
+        calls.append((method, wireless, kwargs))
+        return FakeResult(method)
+
+    for module in (figures, tables):
+        monkeypatch.setattr(module, "build_context", fake_build_context)
+        monkeypatch.setattr(module, "run_method", fake_run_method)
+    monkeypatch.setattr(
+        tables,
+        "online_evaluate",
+        lambda result, context, seed=1: {c: 90.0 for c in tables.CONDITIONS},
+    )
+    return calls
+
+
+class TestFigGlue:
+    def test_fig2_trains_all_five(self, record_calls):
+        result = figures.fig2("ci", wireless=True)
+        methods = [m for m, _, _ in record_calls]
+        assert methods == list(figures.FIG2_METHODS)
+        assert all(w for _, w, _ in record_calls)
+        assert set(result.curves) == set(figures.FIG2_METHODS)
+
+    def test_fig3_trains_lbchat_and_sco(self, record_calls):
+        result = figures.fig3("ci")
+        methods = [m for m, _, _ in record_calls]
+        assert methods == ["LbChat", "SCO"]
+        assert result.final("LbChat") == pytest.approx(1.0)
+
+    def test_receive_rates_all_methods(self, record_calls):
+        rates = figures.receive_rates("ci")
+        assert set(rates) == set(figures.FIG2_METHODS)
+        assert all(rate == 0.75 for rate in rates.values())
+
+
+class TestTableGlue:
+    def test_table2_no_wireless(self, record_calls):
+        result = tables.table2("ci")
+        assert all(not w for _, w, _ in record_calls)
+        assert result.columns == list(tables.MAIN_METHODS)
+        assert result.cell("Straight", "LbChat") == 90.0
+
+    def test_table3_wireless(self, record_calls):
+        tables.table3("ci")
+        assert all(w for _, w, _ in record_calls)
+
+    def test_table4_coreset_sizes(self, record_calls):
+        result = tables.table4("ci")
+        sizes = [k.get("coreset_size") for _, _, k in record_calls]
+        large, small = CI.coreset_size * 10, max(CI.coreset_size // 10, 2)
+        assert sorted(set(sizes)) == sorted({large, small})
+        assert len(result.columns) == 4
+
+    def test_table5_uses_equal_comp_variant(self, record_calls):
+        tables.table5("ci")
+        assert all(m == "LbChat (equal comp.)" for m, _, _ in record_calls)
+
+    def test_table6_uses_avg_agg_variant(self, record_calls):
+        tables.table6("ci")
+        assert all(m == "LbChat (avg. agg.)" for m, _, _ in record_calls)
+
+    def test_table7_uses_sco(self, record_calls):
+        result = tables.table7("ci")
+        assert all(m == "SCO" for m, _, _ in record_calls)
+        assert "coreset only" in result.title

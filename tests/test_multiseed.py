@@ -1,0 +1,78 @@
+"""Tests for multi-seed aggregation (statistics only; no training)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.multiseed import (
+    SeedSummary,
+    aggregate_tables,
+    compare_methods,
+)
+
+
+def make_summary(method, finals, n_points=5):
+    curves = np.stack(
+        [np.linspace(5.0, final, n_points) for final in finals]
+    )
+    return SeedSummary(
+        method=method,
+        seeds=list(range(len(finals))),
+        grid=np.linspace(0, 100, n_points),
+        curves=curves,
+        receive_rates=np.full(len(finals), 0.8),
+    )
+
+
+class TestSeedSummary:
+    def test_mean_and_std_curves(self):
+        summary = make_summary("A", [1.0, 2.0])
+        assert summary.mean_curve[-1] == pytest.approx(1.5)
+        assert summary.std_curve[-1] == pytest.approx(np.std([1.0, 2.0], ddof=1))
+
+    def test_single_seed_zero_std(self):
+        summary = make_summary("A", [1.0])
+        assert np.allclose(summary.std_curve, 0.0)
+
+    def test_describe_mentions_method(self):
+        text = make_summary("LbChat", [1.0, 1.2]).describe()
+        assert "LbChat" in text and "±" in text
+
+
+class TestCompareMethods:
+    def test_clearly_better_low_p(self):
+        a = make_summary("A", [0.5, 0.52, 0.48, 0.51])
+        b = make_summary("B", [1.5, 1.52, 1.48, 1.51])
+        out = compare_methods(a, b)
+        assert out["difference"] < 0
+        assert out["p_value_a_less_than_b"] < 0.01
+
+    def test_clearly_worse_high_p(self):
+        a = make_summary("A", [1.5, 1.52, 1.48, 1.51])
+        b = make_summary("B", [0.5, 0.52, 0.48, 0.51])
+        out = compare_methods(a, b)
+        assert out["p_value_a_less_than_b"] > 0.99
+
+    def test_single_seed_nan_p(self):
+        out = compare_methods(make_summary("A", [1.0]), make_summary("B", [2.0]))
+        assert np.isnan(out["p_value_a_less_than_b"])
+        assert out["difference"] == pytest.approx(-1.0)
+
+
+class TestAggregateTables:
+    def test_mean_and_std_cells(self):
+        tables = [
+            {"Straight": {"LbChat": 90.0}},
+            {"Straight": {"LbChat": 80.0}},
+        ]
+        out = aggregate_tables(tables)
+        mean, std = out["Straight"]["LbChat"]
+        assert mean == 85.0
+        assert std == pytest.approx(np.std([90, 80], ddof=1))
+
+    def test_single_table_zero_std(self):
+        out = aggregate_tables([{"S": {"A": 70.0}}])
+        assert out["S"]["A"] == (70.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_tables([])

@@ -1,0 +1,89 @@
+"""Unit tests for contact estimation and Eq. 5 prioritization."""
+
+import numpy as np
+import pytest
+
+from repro.net import ChannelConfig, WirelessModel, estimate_contact, priority_score
+
+CONFIG = ChannelConfig()
+WIRELESS = WirelessModel()
+INTERVAL = 0.5
+
+
+def parallel_routes(distance, n=40):
+    """Two vehicles driving parallel at constant separation."""
+    t = np.arange(n) * INTERVAL
+    a = np.stack([t * 10.0, np.zeros(n)], axis=1)
+    b = a + np.array([0.0, distance])
+    return a, b
+
+
+def diverging_routes(start_distance=100.0, rate=25.0, n=40):
+    """Separation grows by ``rate`` meters per sample."""
+    a = np.zeros((n, 2))
+    b = np.stack([start_distance + rate * np.arange(n), np.zeros(n)], axis=1)
+    return a, b
+
+
+class TestEstimateContact:
+    def test_close_parallel_pair_long_contact(self):
+        a, b = parallel_routes(50.0)
+        est = estimate_contact(a, b, INTERVAL, WIRELESS, CONFIG, exchange_bytes=1e6)
+        assert est.contact_duration == pytest.approx((len(a)) * INTERVAL, abs=1.0)
+        assert est.p == 1.0
+
+    def test_out_of_range_now_zero(self):
+        a, b = parallel_routes(600.0)
+        est = estimate_contact(a, b, INTERVAL, WIRELESS, CONFIG, exchange_bytes=1e6)
+        assert est.contact_duration == 0.0
+        assert est.z == 0.0 and est.p == 0.0
+
+    def test_diverging_pair_contact_ends(self):
+        a, b = diverging_routes()
+        est = estimate_contact(a, b, INTERVAL, WIRELESS, CONFIG, exchange_bytes=1e5)
+        # Distance exceeds 500 m after (500-100)/25 = 16 samples.
+        assert est.contact_duration == pytest.approx(16 * INTERVAL, abs=1.0)
+
+    def test_insufficient_contact_zero_z(self):
+        a, b = diverging_routes(start_distance=480.0, rate=40.0)
+        huge = 1e9  # needs far longer than the ~0.5 s of contact left
+        est = estimate_contact(a, b, INTERVAL, WIRELESS, CONFIG, exchange_bytes=huge)
+        assert est.z == 0.0
+        assert est.p < 1.0
+
+    def test_shorter_sufficient_contact_scores_higher(self):
+        # Same exchange, one pair with barely-enough contact, one with
+        # plenty: the barely-enough one gets the larger z (urgency).
+        bytes_needed = 4e6
+        a1, b1 = parallel_routes(50.0, n=10)  # 5 s contact
+        a2, b2 = parallel_routes(50.0, n=80)  # 40 s contact
+        est_short = estimate_contact(a1, b1, INTERVAL, WIRELESS, CONFIG, bytes_needed)
+        est_long = estimate_contact(a2, b2, INTERVAL, WIRELESS, CONFIG, bytes_needed)
+        assert est_short.z > est_long.z
+        assert est_short.p == est_long.p == 1.0
+
+    def test_closer_pair_better_goodput(self):
+        a1, b1 = parallel_routes(30.0)
+        a2, b2 = parallel_routes(450.0)
+        near = estimate_contact(a1, b1, INTERVAL, WIRELESS, CONFIG, 1e6)
+        far = estimate_contact(a2, b2, INTERVAL, WIRELESS, CONFIG, 1e6)
+        assert near.mean_goodput_factor > far.mean_goodput_factor
+
+    def test_empty_routes(self):
+        est = estimate_contact(
+            np.zeros((0, 2)), np.zeros((0, 2)), INTERVAL, WIRELESS, CONFIG, 1e6
+        )
+        assert est.contact_duration == 0.0
+
+
+class TestPriorityScore:
+    def test_eq5_product(self):
+        a, b = parallel_routes(50.0)
+        est = estimate_contact(a, b, INTERVAL, WIRELESS, CONFIG, 4e6)
+        score = priority_score(est, 31e6, 20e6)
+        assert score == pytest.approx(est.z * est.p * 20e6)
+
+    def test_zero_for_unreachable(self):
+        a, b = parallel_routes(600.0)
+        est = estimate_contact(a, b, INTERVAL, WIRELESS, CONFIG, 4e6)
+        assert priority_score(est, 31e6, 31e6) == 0.0

@@ -1,0 +1,78 @@
+"""Tests for the MAC contention tracker."""
+
+import numpy as np
+import pytest
+
+from repro.net.mac import ContentionTracker
+
+
+@pytest.fixture()
+def tracker():
+    return ContentionTracker(sense_range=100.0)
+
+
+ORIGIN = np.zeros(2)
+
+
+class TestRegistration:
+    def test_ids_unique(self, tracker):
+        a = tracker.register(0.0, 10.0, ORIGIN)
+        b = tracker.register(0.0, 10.0, ORIGIN)
+        assert a != b
+
+    def test_bad_window_rejected(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.register(5.0, 1.0, ORIGIN)
+
+    def test_unknown_id(self, tracker):
+        with pytest.raises(KeyError):
+            tracker.contention_factor(99)
+
+
+class TestOverlap:
+    def test_disjoint_times_do_not_contend(self, tracker):
+        a = tracker.register(0.0, 10.0, ORIGIN)
+        tracker.register(10.0, 20.0, ORIGIN)
+        assert tracker.overlapping(a) == []
+        assert tracker.contention_factor(a) == 1.0
+
+    def test_far_apart_do_not_contend(self, tracker):
+        a = tracker.register(0.0, 10.0, ORIGIN)
+        tracker.register(0.0, 10.0, np.array([500.0, 0.0]))
+        assert tracker.overlapping(a) == []
+
+    def test_full_overlap_doubles_airtime(self, tracker):
+        a = tracker.register(0.0, 10.0, ORIGIN)
+        tracker.register(0.0, 10.0, np.array([50.0, 0.0]))
+        assert tracker.contention_factor(a) == pytest.approx(2.0)
+        assert tracker.stretched_duration(a) == pytest.approx(20.0)
+
+    def test_partial_overlap_fractional(self, tracker):
+        a = tracker.register(0.0, 10.0, ORIGIN)
+        tracker.register(5.0, 15.0, ORIGIN)
+        # Half the window is shared: factor = (5*1 + 5*2) / 10 = 1.5.
+        assert tracker.contention_factor(a) == pytest.approx(1.5)
+
+    def test_three_way(self, tracker):
+        a = tracker.register(0.0, 10.0, ORIGIN)
+        tracker.register(0.0, 10.0, ORIGIN)
+        tracker.register(0.0, 10.0, ORIGIN)
+        assert tracker.contention_factor(a) == pytest.approx(3.0)
+
+
+class TestBusiestMoment:
+    def test_empty(self, tracker):
+        assert tracker.busiest_moment() == (0.0, 0)
+
+    def test_peak_found(self, tracker):
+        tracker.register(0.0, 10.0, ORIGIN)
+        tracker.register(4.0, 6.0, ORIGIN)
+        tracker.register(5.0, 9.0, ORIGIN)
+        time, count = tracker.busiest_moment()
+        assert count == 3
+        assert 5.0 <= time <= 6.0
+
+    def test_clear(self, tracker):
+        tracker.register(0.0, 1.0, ORIGIN)
+        tracker.clear()
+        assert tracker.busiest_moment() == (0.0, 0)

@@ -1,0 +1,99 @@
+"""Tests for radio profiles (§V) and the incentive ledger (§V)."""
+
+import pytest
+
+from repro.core.incentives import IncentiveConfig, IncentiveLedger
+from repro.net.channel import transfer_time_lossless
+from repro.net.profiles import (
+    DATA_CENTRIC,
+    IEEE_80211BD,
+    NR_V2X,
+    get_radio_profile,
+)
+
+
+class TestRadioProfiles:
+    def test_lookup(self):
+        assert get_radio_profile("802.11bd") is IEEE_80211BD
+        assert get_radio_profile("nr-v2x") is NR_V2X
+        with pytest.raises(ValueError):
+            get_radio_profile("carrier-pigeon")
+
+    def test_baseline_matches_paper(self):
+        assert IEEE_80211BD.bandwidth_bps == 31e6
+        assert IEEE_80211BD.max_range == 500.0
+        assert not IEEE_80211BD.supports_multicast
+
+    def test_nrv2x_better_at_range(self):
+        old = IEEE_80211BD.wireless()
+        new = NR_V2X.wireless()
+        for distance in (100.0, 300.0, 500.0):
+            assert new.loss_at(distance) <= old.loss_at(distance)
+
+    def test_nrv2x_longer_range(self):
+        assert NR_V2X.wireless().in_range(550.0)
+        assert not IEEE_80211BD.wireless().in_range(550.0)
+
+    def test_multicast_capability(self):
+        assert DATA_CENTRIC.supports_multicast
+
+    def test_channel_uses_profile_bandwidth(self):
+        channel = NR_V2X.channel()
+        t_old = transfer_time_lossless(52 * 1024 * 1024, IEEE_80211BD.channel())
+        t_new = transfer_time_lossless(52 * 1024 * 1024, channel)
+        assert t_new < t_old
+
+    def test_wireless_can_be_disabled(self):
+        assert NR_V2X.wireless(enabled=False).loss_at(400.0) == 0.0
+
+
+class TestIncentiveLedger:
+    def test_initial_balance(self):
+        ledger = IncentiveLedger()
+        assert ledger.balance("v0") == IncentiveConfig().initial_balance
+
+    def test_coreset_exchange_zero_sum(self):
+        ledger = IncentiveLedger()
+        ledger.record_coreset_exchange("a", "b")
+        assert ledger.balance("a") == pytest.approx(11.0)
+        assert ledger.balance("b") == pytest.approx(9.0)
+        assert ledger.total_credit() == pytest.approx(0.0)
+
+    def test_model_delivery_scales_with_weight(self):
+        ledger = IncentiveLedger()
+        ledger.record_model_delivery("a", "b", aggregation_weight=0.8)
+        ledger.record_model_delivery("c", "d", aggregation_weight=0.1)
+        gain_a = ledger.balance("a") - 10.0
+        gain_c = ledger.balance("c") - 10.0
+        assert gain_a == pytest.approx(8.0)
+        assert gain_c == pytest.approx(1.0)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            IncentiveLedger().record_model_delivery("a", "b", 1.5)
+
+    def test_debt_gating(self):
+        config = IncentiveConfig(debt_limit=5.0, initial_balance=0.0)
+        ledger = IncentiveLedger(config)
+        assert ledger.allow_exchange("b")
+        for _ in range(6):
+            ledger.record_coreset_exchange("a", "b")
+        assert ledger.balance("b") == -6.0
+        assert not ledger.allow_exchange("b")
+        assert ledger.allow_exchange("a")
+
+    def test_contributing_clears_debt(self):
+        config = IncentiveConfig(debt_limit=5.0, initial_balance=0.0)
+        ledger = IncentiveLedger(config)
+        for _ in range(6):
+            ledger.record_coreset_exchange("a", "b")
+        ledger.record_model_delivery("b", "a", aggregation_weight=0.5)
+        assert ledger.allow_exchange("b")
+
+    def test_summary_structure(self):
+        ledger = IncentiveLedger()
+        ledger.record_coreset_exchange("a", "b")
+        summary = ledger.summary()
+        assert summary["a"]["earned"] == 1.0
+        assert summary["b"]["spent"] == 1.0
+        assert set(summary["a"]) == {"balance", "earned", "spent"}

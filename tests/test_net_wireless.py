@@ -1,0 +1,49 @@
+"""Unit tests for the wireless loss model."""
+
+import numpy as np
+import pytest
+
+from repro.net import DEFAULT_LOSS_TABLE, WirelessModel
+
+
+class TestLossTable:
+    def test_monotone_in_distance(self):
+        losses = [row[1] for row in DEFAULT_LOSS_TABLE]
+        assert losses == sorted(losses)
+
+    def test_loss_at_bins(self):
+        model = WirelessModel()
+        assert model.loss_at(10.0) == 0.01
+        assert model.loss_at(50.0) == 0.01  # boundary inclusive
+        assert model.loss_at(51.0) == 0.03
+        assert model.loss_at(499.0) == 0.80
+
+    def test_out_of_range_total_loss(self):
+        model = WirelessModel()
+        assert model.loss_at(501.0) == 1.0
+        assert not model.in_range(501.0)
+
+    def test_disabled_is_lossless_within_range(self):
+        model = WirelessModel(enabled=False)
+        assert model.loss_at(450.0) == 0.0
+        assert model.loss_at(501.0) == 1.0  # range still applies
+
+    def test_unsorted_table_rejected(self):
+        with pytest.raises(ValueError):
+            WirelessModel(table=((100.0, 0.1), (50.0, 0.05)))
+
+
+class TestGoodput:
+    def test_goodput_factor_complements_loss(self):
+        model = WirelessModel()
+        assert model.goodput_factor(10.0) == pytest.approx(0.99)
+        assert model.goodput_factor(600.0) == 0.0
+
+    def test_expected_goodput_averages(self):
+        model = WirelessModel()
+        distances = np.array([10.0, 499.0])
+        expected = (0.99 + 0.20) / 2
+        assert model.expected_goodput_factor(distances) == pytest.approx(expected)
+
+    def test_expected_goodput_empty(self):
+        assert WirelessModel().expected_goodput_factor(np.zeros(0)) == 0.0

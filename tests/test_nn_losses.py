@@ -1,0 +1,92 @@
+"""Unit tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import l1_loss, mse_loss, softmax_cross_entropy, waypoint_l1
+
+
+class TestMse:
+    def test_zero_for_perfect_prediction(self):
+        x = np.ones((3, 4))
+        per, grad = mse_loss(x, x)
+        assert np.allclose(per, 0.0)
+        assert np.allclose(grad, 0.0)
+
+    def test_per_sample_values(self):
+        pred = np.array([[1.0, 1.0], [0.0, 0.0]])
+        target = np.zeros((2, 2))
+        per, _ = mse_loss(pred, target)
+        assert per.tolist() == [1.0, 0.0]
+
+    def test_gradient_is_batch_mean(self):
+        pred = np.array([[2.0], [4.0]])
+        target = np.zeros((2, 1))
+        _, grad = mse_loss(pred, target)
+        # d/dpred of mean((pred-target)^2) over batch*features
+        assert np.allclose(grad, [[2.0], [4.0]])
+
+
+class TestL1:
+    def test_per_sample(self):
+        pred = np.array([[1.0, -1.0], [0.5, 0.5]])
+        per, _ = l1_loss(pred, np.zeros((2, 2)))
+        assert per.tolist() == [1.0, 0.5]
+
+    def test_gradient_signs(self):
+        pred = np.array([[2.0, -3.0]])
+        _, grad = l1_loss(pred, np.zeros((1, 2)))
+        assert np.sign(grad).tolist() == [[1.0, -1.0]]
+
+
+class TestWaypointL1:
+    def test_unweighted_matches_mean(self):
+        pred = np.array([[1.0, 1.0], [3.0, 3.0]])
+        target = np.zeros((2, 2))
+        scalar, per, _ = waypoint_l1(pred, target)
+        assert per.tolist() == [1.0, 3.0]
+        assert scalar == pytest.approx(2.0)
+
+    def test_weights_shift_scalar(self):
+        pred = np.array([[1.0, 1.0], [3.0, 3.0]])
+        target = np.zeros((2, 2))
+        scalar, _, _ = waypoint_l1(pred, target, weights=np.array([3.0, 1.0]))
+        assert scalar == pytest.approx((3 * 1 + 1 * 3) / 4)
+
+    def test_zero_weight_sum_rejected(self):
+        with pytest.raises(ValueError):
+            waypoint_l1(np.ones((1, 2)), np.zeros((1, 2)), weights=np.array([0.0]))
+
+    def test_gradient_respects_weights(self):
+        pred = np.array([[1.0], [1.0]])
+        target = np.zeros((2, 1))
+        _, _, grad = waypoint_l1(pred, target, weights=np.array([1.0, 0.0]))
+        assert grad[1, 0] == 0.0
+        assert grad[0, 0] > 0.0
+
+    def test_descent_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(8, 6)).astype(np.float32)
+        target = np.zeros((8, 6), dtype=np.float32)
+        scalar0, _, grad = waypoint_l1(pred, target)
+        scalar1, _, _ = waypoint_l1(pred - 0.5 * np.sign(grad) * 0.1, target)
+        assert scalar1 < scalar0
+
+
+class TestCrossEntropy:
+    def test_perfect_logits_near_zero_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        labels = np.array([0, 1])
+        per, _ = softmax_cross_entropy(logits, labels)
+        assert np.all(per < 1e-4)
+
+    def test_uniform_logits_log_k(self):
+        logits = np.zeros((1, 4))
+        per, _ = softmax_cross_entropy(logits, np.array([2]))
+        assert per[0] == pytest.approx(np.log(4))
+
+    def test_gradient_sums_to_zero_over_classes(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 5))
+        _, grad = softmax_cross_entropy(logits, np.array([0, 1, 2]))
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-9)

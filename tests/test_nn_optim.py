@@ -1,0 +1,108 @@
+"""Unit tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam
+from repro.nn.params import Parameter
+
+
+def quadratic_step(opt, param, target=0.0):
+    """One step on f(w) = 0.5 * (w - target)^2."""
+    param.zero_grad()
+    param.grad += param.data - target
+    opt.step()
+
+
+class TestSGD:
+    def test_step_moves_against_gradient(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        quadratic_step(opt, p)
+        assert p.data[0] == pytest.approx(0.9)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = SGD([p], lr=0.3)
+        for _ in range(50):
+            quadratic_step(opt, p)
+        assert abs(p.data[0]) < 1e-4
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.array([5.0]))
+        heavy = Parameter(np.array([5.0]))
+        opt_plain = SGD([plain], lr=0.05)
+        opt_heavy = SGD([heavy], lr=0.05, momentum=0.9)
+        for _ in range(10):
+            quadratic_step(opt_plain, plain)
+            quadratic_step(opt_heavy, heavy)
+        assert abs(heavy.data[0]) < abs(plain.data[0])
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        p.grad += 3.0
+        opt.zero_grad()
+        assert p.grad[0] == 0.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            quadratic_step(opt, p)
+        assert abs(p.data[0]) < 1e-2
+
+    def test_first_step_size_close_to_lr(self):
+        # With bias correction the first Adam step is ~lr in magnitude.
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        quadratic_step(opt, p)
+        assert p.data[0] == pytest.approx(0.9, abs=1e-6)
+
+    def test_scale_invariance(self):
+        # Adam normalizes by gradient magnitude: big and small gradients
+        # produce similar step sizes.
+        big = Parameter(np.array([100.0]))
+        small = Parameter(np.array([0.01]))
+        opt = Adam([big, small], lr=0.1)
+        big.grad += 1000.0
+        small.grad += 0.0001
+        opt.step()
+        assert abs(100.0 - big.data[0]) == pytest.approx(
+            abs(0.01 - small.data[0]), rel=0.01
+        )
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_weight_decay_shrinks_params(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1, weight_decay=0.5)
+        p.grad += 0.0  # no gradient signal at all
+        opt.step()
+        assert p.data[0] < 10.0  # decay still pulls toward zero
+
+    def test_zero_weight_decay_no_drift(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1, weight_decay=0.0)
+        opt.step()  # zero grad, zero decay
+        assert p.data[0] == pytest.approx(10.0)
+
+    def test_negative_weight_decay_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, weight_decay=-0.1)
+
+    def test_node_weight_decay_wiring(self, fleet_datasets):
+        from tests.conftest import make_node
+
+        node = make_node("v0", fleet_datasets["v0"], train_with_weight_decay=True)
+        assert node.optimizer.weight_decay == node.config.penalty.lambda_l2
+        node_off = make_node("v0", fleet_datasets["v0"])
+        assert node_off.optimizer.weight_decay == 0.0

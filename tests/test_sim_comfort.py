@@ -1,0 +1,119 @@
+"""Tests for comfort metrics and trajectory recording."""
+
+import numpy as np
+import pytest
+
+from repro.sim.comfort import ComfortMetrics, comfort_score, compute_comfort
+
+
+def straight_cruise(n=100, speed=10.0, dt=0.1):
+    """Constant-speed straight trajectory."""
+    t = np.arange(n) * dt
+    return np.stack([speed * t, np.zeros(n), np.zeros(n), np.full(n, speed)], axis=1)
+
+
+def jerky_drive(n=100, dt=0.1):
+    """Alternates hard accel/brake every step."""
+    speed = 10.0 + 3.0 * (np.arange(n) % 2)
+    t = np.arange(n) * dt
+    return np.stack([10.0 * t, np.zeros(n), np.zeros(n), speed], axis=1)
+
+
+class TestComputeComfort:
+    def test_smooth_cruise_is_calm(self):
+        metrics = compute_comfort(straight_cruise(), dt=0.1)
+        assert metrics.max_acceleration == pytest.approx(0.0)
+        assert metrics.max_deceleration == pytest.approx(0.0)
+        assert metrics.jerk_rms == pytest.approx(0.0)
+        assert metrics.max_lateral_acceleration == pytest.approx(0.0)
+        assert metrics.speed_std == pytest.approx(0.0)
+
+    def test_jerky_drive_measured(self):
+        metrics = compute_comfort(jerky_drive(), dt=0.1)
+        assert metrics.max_acceleration > 10.0
+        assert metrics.jerk_rms > 100.0
+
+    def test_lateral_from_turning(self):
+        n, dt, speed = 100, 0.1, 10.0
+        heading = 0.5 * np.arange(n) * dt  # 0.5 rad/s yaw
+        traj = np.stack(
+            [np.zeros(n), np.zeros(n), heading, np.full(n, speed)], axis=1
+        )
+        metrics = compute_comfort(traj, dt=dt)
+        assert metrics.max_lateral_acceleration == pytest.approx(5.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_comfort(np.zeros((2, 4)), dt=0.1)
+        with pytest.raises(ValueError):
+            compute_comfort(np.zeros((10, 3)), dt=0.1)
+        with pytest.raises(ValueError):
+            compute_comfort(np.zeros((10, 4)), dt=0.0)
+
+
+class TestComfortScore:
+    def test_perfect_drive_scores_100(self):
+        metrics = compute_comfort(straight_cruise(), dt=0.1)
+        assert comfort_score(metrics) == pytest.approx(100.0)
+
+    def test_jerky_drive_scores_low(self):
+        metrics = compute_comfort(jerky_drive(), dt=0.1)
+        assert comfort_score(metrics) < 40.0
+
+    def test_monotone_in_harshness(self):
+        calm = ComfortMetrics(1.0, 1.0, 0.3, 0.5, 0.2, 10.0)
+        harsh = ComfortMetrics(4.0, 4.0, 2.0, 3.0, 3.0, 10.0)
+        assert comfort_score(calm) > comfort_score(harsh)
+
+
+class TestTrajectoryRecording:
+    def test_episode_records_trajectory(self, town):
+        from repro.nn import make_driving_model
+        from repro.sim.evaluate import (
+            DrivingCondition,
+            EvalConfig,
+            route_for_condition,
+            run_episode,
+        )
+        from repro.engine.random import spawn_rng
+        from tests.conftest import BEV_SPEC, N_WAYPOINTS
+
+        config = EvalConfig(
+            bev_spec=BEV_SPEC, n_waypoints=N_WAYPOINTS, normal_cars=0, normal_pedestrians=0
+        )
+        model = make_driving_model(BEV_SPEC.shape, N_WAYPOINTS, 16, seed=0)
+        plan = route_for_condition(
+            town, DrivingCondition.STRAIGHT, spawn_rng(0, "cft"), config
+        )
+        result = run_episode(
+            model, town, plan, DrivingCondition.STRAIGHT, config, seed=1,
+            record_trajectory=True,
+        )
+        assert result.trajectory is not None
+        assert result.trajectory.shape[1] == 4
+        assert len(result.trajectory) >= 3
+        metrics = compute_comfort(result.trajectory, config.dt)
+        assert np.isfinite(comfort_score(metrics))
+
+    def test_default_no_trajectory(self, town):
+        from repro.nn import make_driving_model
+        from repro.sim.evaluate import (
+            DrivingCondition,
+            EvalConfig,
+            route_for_condition,
+            run_episode,
+        )
+        from repro.engine.random import spawn_rng
+        from tests.conftest import BEV_SPEC, N_WAYPOINTS
+
+        config = EvalConfig(
+            bev_spec=BEV_SPEC, n_waypoints=N_WAYPOINTS, normal_cars=0, normal_pedestrians=0
+        )
+        model = make_driving_model(BEV_SPEC.shape, N_WAYPOINTS, 16, seed=0)
+        plan = route_for_condition(
+            town, DrivingCondition.STRAIGHT, spawn_rng(0, "cft2"), config
+        )
+        result = run_episode(
+            model, town, plan, DrivingCondition.STRAIGHT, config, seed=1
+        )
+        assert result.trajectory is None

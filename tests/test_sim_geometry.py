@@ -1,0 +1,101 @@
+"""Unit tests for planar geometry helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.geometry import (
+    point_segment_distance,
+    polyline_lengths,
+    resample_polyline,
+    to_vehicle_frame,
+    to_world_frame,
+    wrap_angle,
+)
+
+
+class TestWrapAngle:
+    def test_identity_in_range(self):
+        assert wrap_angle(0.5) == pytest.approx(0.5)
+
+    def test_wraps_past_pi(self):
+        assert wrap_angle(np.pi + 0.1) == pytest.approx(-np.pi + 0.1)
+
+    def test_vectorized(self):
+        out = wrap_angle(np.array([0.0, 2 * np.pi, -2 * np.pi]))
+        assert np.allclose(out, 0.0, atol=1e-12)
+
+
+class TestFrames:
+    def test_forward_point_maps_to_positive_x(self):
+        pos = np.array([10.0, 5.0])
+        heading = np.pi / 2  # facing +y
+        ahead = pos + np.array([0.0, 3.0])
+        local = to_vehicle_frame(ahead, pos, heading)
+        assert local[0] == pytest.approx(3.0)
+        assert local[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_left_point_maps_to_positive_y(self):
+        pos = np.zeros(2)
+        left = np.array([0.0, 2.0])  # heading 0 -> +y is left
+        local = to_vehicle_frame(left, pos, 0.0)
+        assert local[1] == pytest.approx(2.0)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(10, 2)) * 50
+        pos = np.array([3.0, -7.0])
+        heading = 1.1
+        back = to_world_frame(to_vehicle_frame(points, pos, heading), pos, heading)
+        assert np.allclose(back, points, atol=1e-9)
+
+    def test_batch_shapes_preserved(self):
+        points = np.zeros((4, 3, 2))
+        out = to_vehicle_frame(points, np.ones(2), 0.3)
+        assert out.shape == (4, 3, 2)
+
+
+class TestPointSegmentDistance:
+    def test_perpendicular_distance(self):
+        d = point_segment_distance(
+            np.array([[1.0, 1.0]]), np.array([0.0, 0.0]), np.array([2.0, 0.0])
+        )
+        assert d[0] == pytest.approx(1.0)
+
+    def test_clamps_to_endpoints(self):
+        d = point_segment_distance(
+            np.array([[5.0, 0.0]]), np.array([0.0, 0.0]), np.array([2.0, 0.0])
+        )
+        assert d[0] == pytest.approx(3.0)
+
+    def test_degenerate_segment(self):
+        d = point_segment_distance(
+            np.array([[3.0, 4.0]]), np.array([0.0, 0.0]), np.array([0.0, 0.0])
+        )
+        assert d[0] == pytest.approx(5.0)
+
+
+class TestPolyline:
+    def test_lengths_cumulative(self):
+        poly = np.array([[0.0, 0.0], [3.0, 0.0], [3.0, 4.0]])
+        lengths = polyline_lengths(poly)
+        assert lengths.tolist() == [0.0, 3.0, 7.0]
+
+    def test_resample_spacing(self):
+        poly = np.array([[0.0, 0.0], [10.0, 0.0]])
+        dense = resample_polyline(poly, 1.0)
+        assert len(dense) == 11
+        assert np.allclose(np.diff(dense[:, 0]), 1.0)
+
+    def test_resample_keeps_endpoints(self):
+        poly = np.array([[0.0, 0.0], [5.0, 5.0], [10.0, 0.0]])
+        dense = resample_polyline(poly, 3.0)
+        assert np.allclose(dense[0], poly[0])
+        assert np.allclose(dense[-1], poly[-1])
+
+    def test_resample_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            resample_polyline(np.zeros((2, 2)), 0.0)
+
+    def test_resample_single_point(self):
+        poly = np.array([[1.0, 2.0]])
+        assert np.array_equal(resample_polyline(poly, 1.0), poly)

@@ -1,0 +1,81 @@
+"""Unit tests for vehicle kinematics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kinematics import (
+    MAX_ACCEL,
+    MAX_DECEL,
+    MAX_TURN_RATE,
+    VehicleState,
+    advance,
+)
+
+
+def test_straight_motion():
+    state = VehicleState(0.0, 0.0, 0.0, 10.0)
+    out = advance(state, turn_rate=0.0, accel=0.0, dt=1.0)
+    assert out.x == pytest.approx(10.0)
+    assert out.y == pytest.approx(0.0)
+
+
+def test_acceleration_clipped():
+    state = VehicleState(0.0, 0.0, 0.0, 0.0)
+    out = advance(state, 0.0, 100.0, dt=1.0)
+    assert out.speed == pytest.approx(MAX_ACCEL)
+
+
+def test_deceleration_clipped():
+    state = VehicleState(0.0, 0.0, 0.0, 20.0)
+    out = advance(state, 0.0, -100.0, dt=1.0)
+    assert out.speed == pytest.approx(20.0 - MAX_DECEL)
+
+
+def test_speed_never_negative():
+    state = VehicleState(0.0, 0.0, 0.0, 1.0)
+    out = advance(state, 0.0, -MAX_DECEL, dt=1.0)
+    assert out.speed == 0.0
+
+
+def test_turn_rate_clipped():
+    state = VehicleState(0.0, 0.0, 0.0, 5.0)
+    out = advance(state, 100.0, 0.0, dt=1.0)
+    assert out.heading == pytest.approx(MAX_TURN_RATE)
+
+
+def test_heading_wraps():
+    state = VehicleState(0.0, 0.0, np.pi - 0.01, 0.0)
+    out = advance(state, MAX_TURN_RATE, 0.0, dt=1.0)
+    assert -np.pi < out.heading <= np.pi
+
+
+def test_turning_changes_direction_of_travel():
+    state = VehicleState(0.0, 0.0, 0.0, 10.0)
+    for _ in range(20):
+        state = advance(state, MAX_TURN_RATE, 0.0, dt=0.1)
+    assert state.y > 1.0  # positive turn rate curves left (+y)
+
+
+def test_original_state_unmodified():
+    state = VehicleState(0.0, 0.0, 0.0, 5.0)
+    advance(state, 0.1, 1.0, dt=0.5)
+    assert state.x == 0.0 and state.speed == 5.0
+
+
+def test_copy_independent():
+    state = VehicleState(1.0, 2.0, 0.3, 4.0)
+    clone = state.copy()
+    clone.x = 99.0
+    assert state.x == 1.0
+
+
+def test_position_property():
+    state = VehicleState(1.5, -2.5, 0.0, 0.0)
+    assert state.position.tolist() == [1.5, -2.5]
+
+
+def test_distance_integrates_mid_speed():
+    # Accelerating 0 -> MAX_ACCEL*dt: distance uses the average speed.
+    state = VehicleState(0.0, 0.0, 0.0, 0.0)
+    out = advance(state, 0.0, MAX_ACCEL, dt=1.0)
+    assert out.x == pytest.approx(MAX_ACCEL / 2)

@@ -1,0 +1,95 @@
+"""Unit tests for the town map."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.sim import TownMap
+
+
+@pytest.fixture(scope="module")
+def small_town():
+    return TownMap(size=400.0, grid_n=3, seed=0)
+
+
+class TestConstruction:
+    def test_graph_connected(self, small_town):
+        assert nx.is_connected(small_town.graph)
+
+    def test_node_count(self, small_town):
+        # 3x3 town grid + 4 rural corners.
+        assert len(small_town.graph) == 13
+
+    def test_no_rural_option(self):
+        town = TownMap(size=400.0, grid_n=3, rural=False, seed=0)
+        assert len(town.graph) == 9
+        assert all(town.graph.nodes[n]["kind"] == "town" for n in town.graph)
+
+    def test_town_nodes_within_bounds(self, small_town):
+        for node in small_town.town_nodes():
+            pos = small_town.node_position(node)
+            assert 0 <= pos[0] <= 400 and 0 <= pos[1] <= 400
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            TownMap(grid_n=1)
+
+
+class TestQueries:
+    def test_nearest_node(self, small_town):
+        node = small_town.town_nodes()[0]
+        pos = small_town.node_position(node)
+        assert small_town.nearest_node(pos + 1.0) == node
+
+    def test_shortest_path_endpoints(self, small_town):
+        nodes = small_town.town_nodes()
+        path = small_town.shortest_path(nodes[0], nodes[-1])
+        assert path[0] == nodes[0] and path[-1] == nodes[-1]
+
+    def test_jittered_path_valid(self, small_town):
+        nodes = small_town.town_nodes()
+        rng = np.random.default_rng(0)
+        path = small_town.shortest_path(nodes[0], nodes[-1], rng=rng)
+        for a, b in zip(path, path[1:]):
+            assert small_town.graph.has_edge(a, b)
+
+    def test_on_road_at_edge_midpoint(self, small_town):
+        a, b = list(small_town.graph.edges())[0]
+        mid = (small_town.node_position(a) + small_town.node_position(b)) / 2
+        assert small_town.is_on_road(mid)
+
+    def test_off_road_far_from_everything(self, small_town):
+        assert not small_town.is_on_road(np.array([200.0, 1.0]))
+
+    def test_margin_widens_road(self, small_town):
+        a, b = list(small_town.graph.edges())[0]
+        pa, pb = small_town.node_position(a), small_town.node_position(b)
+        direction = pb - pa
+        normal = np.array([-direction[1], direction[0]]) / np.linalg.norm(direction)
+        point = (pa + pb) / 2 + normal * (small_town.road_half_width + 1.0)
+        assert not small_town.is_on_road(point)
+        assert small_town.is_on_road(point, margin=2.0)
+
+    def test_occupancy_vectorized_matches_scalar(self, small_town):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, 400, size=(200, 2))
+        vectorized = small_town.occupancy_at(points)
+        scalar = np.array([small_town.is_on_road(p) for p in points])
+        assert np.array_equal(vectorized, scalar)
+
+    def test_occupancy_out_of_bounds_false(self, small_town):
+        points = np.array([[-10.0, 50.0], [500.0, 50.0]])
+        assert not small_town.occupancy_at(points).any()
+
+    def test_random_road_point_on_road(self, small_town):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            point = small_town.random_road_point(rng)
+            # Allow grid-resolution slack at the pavement edge.
+            assert small_town.is_on_road(point, margin=1.0)
+
+    def test_determinism(self):
+        a = TownMap(size=400.0, grid_n=3, seed=5)
+        b = TownMap(size=400.0, grid_n=3, seed=5)
+        for node in a.graph:
+            assert np.allclose(a.node_position(node), b.node_position(node))

@@ -1,0 +1,143 @@
+"""Unit tests for background traffic."""
+
+import numpy as np
+import pytest
+
+from repro.sim import TownMap
+from repro.sim.traffic import (
+    BackgroundCar,
+    Pedestrian,
+    TrafficManager,
+    road_obstacles,
+)
+
+
+@pytest.fixture(scope="module")
+def town():
+    return TownMap(size=400.0, grid_n=3, seed=0)
+
+
+class TestBackgroundCar:
+    def test_spawns_on_its_route(self, town):
+        car = BackgroundCar(town, np.random.default_rng(0))
+        assert town.is_on_road(car.state.position, margin=1.0)
+
+    def test_moves_over_time(self, town):
+        car = BackgroundCar(town, np.random.default_rng(1))
+        start = car.state.position.copy()
+        for _ in range(100):
+            car.step(np.zeros((0, 2)), dt=0.1)
+        assert np.linalg.norm(car.state.position - start) > 5.0
+
+    def test_renews_route_on_completion(self, town):
+        car = BackgroundCar(town, np.random.default_rng(2))
+        first_plan = car.pilot.plan
+        for _ in range(3000):
+            car.step(np.zeros((0, 2)), dt=0.1)
+            if car.pilot.plan is not first_plan:
+                break
+        assert car.pilot.plan is not first_plan
+
+
+class TestPedestrian:
+    def test_spawns_off_road(self, town):
+        for seed in range(5):
+            ped = Pedestrian(town, np.random.default_rng(seed))
+            # Sidewalk points sit just past the pavement edge.
+            assert not town.is_on_road(ped.position) or town.is_on_road(
+                ped.position, margin=5.0
+            )
+
+    def test_walks_toward_target(self, town):
+        ped = Pedestrian(town, np.random.default_rng(3))
+        start = ped.position.copy()
+        for _ in range(200):
+            ped.step(0.1)
+        assert np.linalg.norm(ped.position - start) > 1.0
+
+    def test_waits_at_curb_for_moving_car(self, town):
+        ped = Pedestrian(town, np.random.default_rng(4))
+        # Force a crossing: target on the other side of a road.
+        a, b = list(town.graph.edges())[0]
+        mid = (town.node_position(a) + town.node_position(b)) / 2
+        ped.position = mid + np.array([0.0, town.road_half_width + 1.0])
+        ped._target = mid - np.array([0.0, town.road_half_width + 1.0])
+        cars = mid[None, :] + np.array([[3.0, 0.0]])
+        before = ped.position.copy()
+        ped.step(0.1, car_positions=cars, car_speeds=np.array([8.0]))
+        entered_road = town.is_on_road(ped.position)
+        # Either it hadn't reached the curb yet (moved along sidewalk) or
+        # it waited; it must not have stepped onto the pavement.
+        assert not entered_road or np.allclose(ped.position, before)
+
+    def test_crosses_for_stopped_car(self, town):
+        ped = Pedestrian(town, np.random.default_rng(4))
+        a, b = list(town.graph.edges())[0]
+        mid = (town.node_position(a) + town.node_position(b)) / 2
+        ped.position = mid + np.array([0.0, town.road_half_width + 0.05])
+        ped._target = mid - np.array([0.0, town.road_half_width + 1.0])
+        cars = mid[None, :] + np.array([[10.0, 0.0]])
+        moved = False
+        for _ in range(20):
+            before = ped.position.copy()
+            ped.step(0.1, car_positions=cars, car_speeds=np.array([0.0]))
+            if not np.allclose(ped.position, before):
+                moved = True
+        assert moved
+
+    def test_personal_space_rerolls_target(self, town):
+        ped = Pedestrian(town, np.random.default_rng(5))
+        target_before = ped._target.copy()
+        direction = target_before - ped.position
+        direction /= max(np.linalg.norm(direction), 1e-9)
+        blocking_car = (ped.position + direction * 2.0)[None, :]
+        ped.step(0.1, car_positions=blocking_car, car_speeds=np.array([0.0]))
+        assert not np.allclose(ped._target, target_before)
+
+
+class TestTrafficManager:
+    def test_counts(self, town):
+        manager = TrafficManager(town, 3, 7, np.random.default_rng(0))
+        assert manager.car_positions().shape == (3, 2)
+        assert manager.pedestrian_positions().shape == (7, 2)
+
+    def test_empty_manager(self, town):
+        manager = TrafficManager(town, 0, 0, np.random.default_rng(0))
+        assert manager.car_positions().shape == (0, 2)
+        manager.step(np.zeros((0, 2)), dt=0.1)  # no crash
+
+    def test_keep_clear_respected(self, town):
+        center = town.node_position(town.town_nodes()[0])
+        manager = TrafficManager(
+            town, 6, 0, np.random.default_rng(1), keep_clear=center, keep_clear_radius=30.0
+        )
+        dists = np.linalg.norm(manager.car_positions() - center, axis=1)
+        assert (dists >= 30.0).all()
+
+    def test_step_moves_agents(self, town):
+        manager = TrafficManager(town, 2, 5, np.random.default_rng(2))
+        before_cars = manager.car_positions().copy()
+        for _ in range(50):
+            manager.step(np.zeros((0, 2)), dt=0.1)
+        assert not np.allclose(manager.car_positions(), before_cars)
+
+
+class TestRoadObstacles:
+    def test_filters_off_road(self, town):
+        a, b = list(town.graph.edges())[0]
+        mid = (town.node_position(a) + town.node_position(b)) / 2
+        on_road = mid
+        off_road = np.array([200.0, 2.0])
+        out = road_obstacles(town, np.stack([on_road, off_road]), mid, radius=500.0)
+        assert len(out) == 1
+        assert np.allclose(out[0], on_road)
+
+    def test_filters_far_away(self, town):
+        a, b = list(town.graph.edges())[0]
+        mid = (town.node_position(a) + town.node_position(b)) / 2
+        out = road_obstacles(town, mid[None, :] + 100.0, mid, radius=10.0)
+        assert len(out) == 0
+
+    def test_empty_input(self, town):
+        out = road_obstacles(town, np.zeros((0, 2)), np.zeros(2))
+        assert len(out) == 0

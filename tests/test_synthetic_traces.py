@@ -1,0 +1,103 @@
+"""Tests for synthetic mobility models and their contact regimes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.synthetic_traces import (
+    crossing_flows_traces,
+    platoon_traces,
+    random_waypoint_traces,
+)
+
+
+class TestPlatoon:
+    def test_shape_and_ids(self):
+        traces = platoon_traces(4, duration=60.0)
+        assert traces.positions.shape[1] == 4
+        assert traces.vehicle_ids == ["v0", "v1", "v2", "v3"]
+
+    def test_contacts_are_permanent(self):
+        traces = platoon_traces(4, duration=60.0, spacing=30.0)
+        for t in (0.0, 30.0, 60.0):
+            assert len(traces.neighbors(0, t, radius=500.0)) == 3
+
+    def test_convoy_moves_forward(self):
+        traces = platoon_traces(3, duration=60.0, speed=10.0)
+        start = traces.position(0, 0.0)
+        end = traces.position(0, 60.0)
+        assert end[0] - start[0] == pytest.approx(600.0, abs=20.0)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            platoon_traces(0, 10.0)
+
+
+class TestCrossingFlows:
+    def test_cross_lane_contacts_brief(self):
+        traces = crossing_flows_traces(6, duration=200.0, speed=12.0, seed=1)
+        # For any east/west pair, time within 500 m is about
+        # 2*500/(2*12) ≈ 42 s — far shorter than the 200 s horizon.
+        in_range = [
+            traces.distance(0, 1, t) <= 500.0 for t in traces.times
+        ]
+        frac = np.mean(in_range)
+        assert frac < 0.6
+
+    def test_same_lane_speeds_match(self):
+        traces = crossing_flows_traces(4, duration=100.0, speed=10.0, seed=2)
+        d_start = traces.distance(0, 2, 0.0)
+        d_end = traces.distance(0, 2, 100.0)
+        assert d_end == pytest.approx(d_start, abs=1.0)
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            crossing_flows_traces(1, 10.0)
+
+
+class TestRandomWaypoint:
+    def test_stays_in_area(self):
+        traces = random_waypoint_traces(5, duration=120.0, area=300.0, seed=3)
+        assert traces.positions.min() >= -1e-6
+        assert traces.positions.max() <= 300.0 + 1e-6
+
+    def test_vehicles_actually_move(self):
+        traces = random_waypoint_traces(5, duration=120.0, seed=3)
+        moved = np.linalg.norm(
+            traces.positions[-1] - traces.positions[0], axis=1
+        )
+        assert moved.max() > 50.0
+
+    def test_deterministic(self):
+        a = random_waypoint_traces(3, 60.0, seed=9)
+        b = random_waypoint_traces(3, 60.0, seed=9)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_speed_bounded(self):
+        traces = random_waypoint_traces(4, duration=60.0, speed_range=(5.0, 10.0), seed=0)
+        steps = np.linalg.norm(np.diff(traces.positions, axis=0), axis=2)
+        assert steps.max() <= 10.0 * traces.interval + 1e-6
+
+
+class TestTrainerIntegration:
+    def test_lbchat_runs_on_synthetic_traces(self, fleet_datasets):
+        from repro.core.lbchat import LbChatConfig, LbChatTrainer
+        from repro.sim.dataset import DrivingDataset
+        from tests.conftest import make_node
+
+        nodes = [
+            make_node(vid, ds, coreset_size=8, seed=11)
+            for vid, ds in sorted(fleet_datasets.items())
+        ]
+        traces = platoon_traces(len(nodes), duration=120.0, seed=4)
+        validation = DrivingDataset(
+            [fleet_datasets["v0"].frame(i) for i in range(0, 30, 6)]
+        )
+        trainer = LbChatTrainer(
+            nodes,
+            traces,
+            validation,
+            LbChatConfig(duration=80.0, train_interval=4.0, record_interval=40.0, seed=1),
+        )
+        trainer.run()
+        # A permanent-contact convoy chats plenty.
+        assert trainer.counters.get("chats") > 0
