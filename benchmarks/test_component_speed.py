@@ -65,6 +65,42 @@ def test_eq7_optimization_speed(benchmark):
     assert decision.exchange_time <= 15.0 + 1e-9
 
 
+def _run_transfer():
+    from repro.net.channel import ChannelConfig, simulate_transfer
+    from repro.net.wireless import WirelessModel
+
+    # A 52 MB (nominal) model over a lossy link while closing from 400 m:
+    # ~30 distance/goodput chunk evaluations — the per-chat hot path.
+    return simulate_transfer(
+        52 * 1024 * 1024,
+        lambda t: 400.0 - 10.0 * t,
+        WirelessModel(),
+        ChannelConfig(),
+        start_time=0.0,
+        deadline=40.0,
+    )
+
+
+def test_transfer_sim_speed(benchmark):
+    """Baseline for the telemetry no-op fast path (telemetry disabled)."""
+    from repro.telemetry import hooks
+
+    assert hooks.active() is None
+    result = benchmark(_run_transfer)
+    assert result.completed
+
+
+def test_transfer_sim_speed_traced(benchmark):
+    """Same transfer with telemetry active — compare against the test
+    above; the gap is the full (enabled) instrumentation cost, and the
+    disabled-path overhead is bounded well below it."""
+    from repro.telemetry import TelemetrySession
+
+    with TelemetrySession():
+        result = benchmark(_run_transfer)
+    assert result.completed
+
+
 def test_bev_render_speed(benchmark):
     town = TownMap(size=400.0, grid_n=3, seed=0)
     a, b = list(town.graph.edges())[0]

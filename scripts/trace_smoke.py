@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""CI smoke test: run a traced mini-fleet end-to-end and sanity-check it.
+
+Builds a tiny 4-vehicle world (same scale as the unit-test fixtures),
+trains LbChat for a couple of simulated minutes with telemetry active,
+exports the JSONL trace, reloads it, renders the text report, and
+asserts the cross-cutting invariants:
+
+* one ``trainer_run`` span; one ``chat`` span per ChatLog record;
+* registry chat/receive counters agree with the trainer's own recorders;
+* the export round-trips (reloaded span counts match the live tracer).
+
+It also times an identical *untraced* run and prints the relative
+telemetry overhead.  Exits non-zero on any violation, so it can gate CI:
+
+    PYTHONPATH=src python scripts/trace_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def build_fleet(seed: int = 11):
+    from repro.core.node import NodeConfig, VehicleNode
+    from repro.engine.random import spawn_rng
+    from repro.nn import make_driving_model
+    from repro.sim import BevSpec, World, WorldConfig, collect_fleet_datasets
+    from repro.sim.dataset import DrivingDataset
+    from repro.sim.traces import simulate_traces
+
+    bev = BevSpec(grid=12, cell=2.5)
+    world_config = WorldConfig(
+        map_size=400.0,
+        grid_n=3,
+        n_vehicles=4,
+        n_background_cars=4,
+        n_pedestrians=10,
+        seed=seed,
+        min_route_length=120.0,
+    )
+    world = World(world_config)
+    datasets = collect_fleet_datasets(world, duration=60.0, bev_spec=bev, n_waypoints=4)
+    traces = simulate_traces(world_config, duration=180.0)
+    validation = DrivingDataset(
+        [datasets["v0"].frame(i) for i in range(0, min(len(datasets["v0"]), 30), 6)]
+    )
+
+    def make_nodes():
+        nodes = []
+        for vid, dataset in sorted(datasets.items()):
+            model = make_driving_model(bev.shape, 4, hidden=32, seed=0)
+            config = NodeConfig(coreset_size=10, learning_rate=1e-3)
+            nodes.append(
+                VehicleNode(
+                    vid,
+                    model,
+                    DrivingDataset(dataset.frames()),
+                    config,
+                    spawn_rng(5, vid),
+                )
+            )
+        return nodes
+
+    return make_nodes, traces, validation
+
+
+def run_once(make_nodes, traces, validation, session=None):
+    from repro.core.lbchat import LbChatConfig, LbChatTrainer
+    from repro.telemetry import hooks
+
+    trainer = LbChatTrainer(
+        make_nodes(),
+        traces,
+        validation,
+        LbChatConfig(
+            duration=120.0, train_interval=2.0, record_interval=30.0,
+            wireless_loss=False, seed=1,
+        ),
+    )
+    start = time.perf_counter()
+    if session is not None:
+        with session:
+            trainer.run()
+    else:
+        assert hooks.active() is None
+        trainer.run()
+    return trainer, time.perf_counter() - start
+
+
+def main() -> int:
+    from repro.telemetry import (
+        TelemetrySession,
+        export_jsonl,
+        load_jsonl,
+        report_session,
+    )
+
+    print("building mini-fleet world...")
+    make_nodes, traces, validation = build_fleet()
+
+    print("running untraced (telemetry disabled)...")
+    untraced_trainer, baseline_s = run_once(make_nodes, traces, validation)
+
+    print("running traced...")
+    session = TelemetrySession(label="smoke LbChat")
+    trainer, traced_s = run_once(make_nodes, traces, validation, session)
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(f"  [{'ok' if ok else 'FAIL'}] {what}")
+        if not ok:
+            failures.append(what)
+
+    n_chats = len(trainer.chat_log)
+    counts = session.tracer.span_counts()
+    snap = session.registry.snapshot()
+    check(n_chats > 0, f"fleet chatted at all ({n_chats} chats)")
+    check(counts.get("trainer_run") == 1, "exactly one trainer_run span")
+    check(counts.get("chat", 0) == n_chats, "one chat span per ChatLog record")
+    check(
+        snap["counters"].get("chat.count") == n_chats,
+        "registry chat.count matches ChatLog",
+    )
+    check(
+        snap["counters"].get("model_rx.attempted")
+        == float(trainer.receive_rate.attempted),
+        "registry receive attempts match trainer recorder",
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = export_jsonl(session, Path(tmp) / "smoke.jsonl")
+        reloaded = load_jsonl(path)
+        check(
+            reloaded.span_counts() == counts,
+            "JSONL export round-trips span counts",
+        )
+        check(reloaded.metrics == snap, "JSONL export round-trips metrics")
+
+    # The untraced run itself chatted identically (determinism check).
+    check(
+        len(untraced_trainer.chat_log) == n_chats,
+        "telemetry does not perturb the simulation",
+    )
+
+    print()
+    print(report_session(session))
+    overhead = (traced_s - baseline_s) / baseline_s if baseline_s > 0 else 0.0
+    print(
+        f"\nwall-clock: untraced {baseline_s:.2f}s, traced {traced_s:.2f}s "
+        f"({100 * overhead:+.1f}% with telemetry ENABLED; disabled-path "
+        "overhead is a single None check per hook)"
+    )
+
+    if failures:
+        print(f"\nSMOKE FAILED: {len(failures)} check(s): {failures}")
+        return 1
+    print("\nsmoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ from repro.compression import decompress
 from repro.core.chat import equal_compression_decision
 from repro.core.trainer_base import TrainerBase, TrainerConfig
 from repro.net.channel import simulate_transfer
+from repro.telemetry import hooks as telemetry
 
 __all__ = ["DflDdsConfig", "DflDdsTrainer"]
 
@@ -100,7 +101,13 @@ class DflDdsTrainer(TrainerBase):
         )
         distance_fn = self.pair_distance_fn(i, j)
         deadline = now + min(contact, self.config.round_interval)
+        session = telemetry.active()
+        if session is not None:
+            session.tracer.start_span(
+                "exchange", now, i=node_i.node_id, j=node_j.node_id
+            )
         elapsed = 0.0
+        received = 0
         for sender, receiver, psi, s_idx, r_idx in (
             (node_i, node_j, decision.psi_i, i, j),
             (node_j, node_i, decision.psi_j, j, i),
@@ -108,6 +115,11 @@ class DflDdsTrainer(TrainerBase):
             if psi <= 0:
                 continue
             compressed = sender.compress_model(psi)
+            # Same empty-send edge case as the chat protocol: a positive
+            # psi rounded down to zero retained bytes must not count as
+            # an instantly-successful reception.
+            if compressed.nominal_bytes <= 0:
+                continue
             sent = simulate_transfer(
                 compressed.nominal_bytes,
                 distance_fn,
@@ -118,8 +130,12 @@ class DflDdsTrainer(TrainerBase):
             )
             elapsed += sent.elapsed
             self.receive_rate.observe(receiver.node_id, sent.completed)
+            telemetry.on_model_reception(sent.completed)
             if sent.completed:
+                received += 1
                 self._aggregate(r_idx, s_idx, decompress(compressed, fill=receiver.flat_params))
+        if session is not None:
+            session.tracer.end_span(now + elapsed, status="ok", received=received)
         self.occupy(i, elapsed)
         self.occupy(j, elapsed)
         self.note_chat(i, j)

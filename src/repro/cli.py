@@ -10,6 +10,8 @@ Examples
     python -m repro table 3 --scale ci
     python -m repro fig 2b
     python -m repro rates
+    python -m repro trace --method LbChat --out trace.jsonl
+    python -m repro report --trace trace.jsonl
     python -m repro eval --model sco.npz --trials 4
 """
 
@@ -158,8 +160,41 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.io import cached_context
+    from repro.experiments.runner import run_method
+    from repro.telemetry import TelemetrySession, export_jsonl, report_session
+
+    scale = get_scale(args.scale)
+    context = cached_context(scale) if args.cache else _fresh_context(scale)
+    print(f"Tracing {args.method} (scale={args.scale}, wireless={args.wireless})...")
+    session = TelemetrySession(label=f"{args.method} @ {args.scale}")
+    with session:
+        result = run_method(context, args.method, wireless=args.wireless, seed=args.seed)
+    path = export_jsonl(session, args.out)
+    print(report_session(session))
+    print(f"\ntrace written to {path}")
+    if args.csv:
+        from repro.telemetry import export_metrics_csv
+
+        print(f"metrics written to {export_metrics_csv(session.registry, args.csv)}")
+    print(f"receive rate: {100 * result.receive_rate:.1f}%")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
+
+    if args.trace:
+        from repro.telemetry import load_jsonl, report_trace
+
+        report = report_trace(load_jsonl(args.trace))
+        if args.out:
+            Path(args.out).write_text(report + "\n")
+            print(f"report written to {args.out}")
+        else:
+            print(report)
+        return 0
 
     from repro.experiments.report import build_report
 
@@ -243,8 +278,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_scenario)
 
+    p = sub.add_parser("trace", help="train one method with telemetry on")
+    p.add_argument("--method", default="LbChat")
+    _add_scale_arg(p)
+    p.add_argument("--wireless", action=argparse.BooleanOptionalAction, default=True)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--out", default="trace.jsonl", help="JSONL trace destination")
+    p.add_argument("--csv", default=None, help="also dump the metric snapshot as CSV")
+    p.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="use the on-disk context cache",
+    )
+    p.set_defaults(fn=_cmd_trace)
+
     p = sub.add_parser("report", help="assemble the reproduction report")
     p.add_argument("--artifacts", default="benchmarks/out")
+    p.add_argument("--trace", default=None, help="render a telemetry JSONL trace instead")
     p.add_argument("--out", default=None, help="write the report to a file")
     p.set_defaults(fn=_cmd_report)
 

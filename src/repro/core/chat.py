@@ -26,6 +26,7 @@ from repro.core.value import assess_value
 from repro.net.channel import ChannelConfig, simulate_transfer
 from repro.net.wireless import WirelessModel
 from repro.sim.dataset import DrivingDataset
+from repro.telemetry import hooks as telemetry
 
 __all__ = ["ChatOutcome", "pairwise_chat"]
 
@@ -77,6 +78,48 @@ def pairwise_chat(
     averaging (§IV-F); ``coreset_only`` skips model exchange entirely —
     the SCO variant of §IV-G.
     """
+    session = telemetry.active()
+    if session is not None:
+        session.tracer.start_span(
+            "chat", start_time, i=node_i.node_id, j=node_j.node_id
+        )
+    outcome = _pairwise_chat_impl(
+        node_i,
+        node_j,
+        distance_fn,
+        start_time,
+        contact_deadline,
+        wireless,
+        channel,
+        time_budget,
+        lambda_c=lambda_c,
+        refresh_coresets=refresh_coresets,
+        equal_compression=equal_compression,
+        mean_aggregation=mean_aggregation,
+        coreset_only=coreset_only,
+        expected_goodput=expected_goodput,
+    )
+    if session is not None:
+        telemetry.on_chat_outcome(start_time, outcome)
+    return outcome
+
+
+def _pairwise_chat_impl(
+    node_i: VehicleNode,
+    node_j: VehicleNode,
+    distance_fn: Callable[[float], float],
+    start_time: float,
+    contact_deadline: float,
+    wireless: WirelessModel,
+    channel: ChannelConfig,
+    time_budget: float,
+    lambda_c: float,
+    refresh_coresets: bool,
+    equal_compression: bool,
+    mean_aggregation: bool,
+    coreset_only: bool,
+    expected_goodput: float,
+) -> ChatOutcome:
     outcome = ChatOutcome(duration=0.0)
     now = start_time
     # Planning (Eq. 7) uses the loss-discounted effective bandwidth the
@@ -93,6 +136,7 @@ def pairwise_chat(
     # 1. assistive info both ways.
     assist = shared_channel(2 * channel.assist_info_bytes, contact_deadline)
     now += assist.elapsed
+    telemetry.on_chat_stage("assist", now, assist.completed)
     if not assist.completed:
         outcome.duration = now - start_time
         outcome.aborted = "assist"
@@ -105,6 +149,7 @@ def pairwise_chat(
     coreset_bytes = node_i.coreset.nominal_bytes + node_j.coreset.nominal_bytes
     transfer = shared_channel(coreset_bytes, contact_deadline)
     now += transfer.elapsed
+    telemetry.on_chat_stage("coresets", now, transfer.completed)
     if not transfer.completed:
         outcome.duration = now - start_time
         outcome.aborted = "coresets"
@@ -128,11 +173,24 @@ def pairwise_chat(
     map_i = node_i.build_psi_map()
     map_j = node_j.build_psi_map()
     results = shared_channel(2 * 256, contact_deadline)  # tiny payloads
-    now += results.elapsed + _RESULTS_EXCHANGE_SECONDS
+    now += results.elapsed
+    telemetry.on_chat_stage("results", now, results.completed)
     if not results.completed:
         outcome.duration = now - start_time
         outcome.aborted = "results"
         # Coresets still got through: absorb them before bailing.
+        _absorb_both(node_i, node_j, outcome)
+        return outcome
+    # The fixed compute/exchange overhead applies only when the results
+    # actually made it across — and it can itself eat the rest of the
+    # contact, in which case planning Eq. 7 and starting model transfers
+    # against an already-dead pair would be wasted (and would distort
+    # receive-rate accounting with doomed attempts).
+    now += _RESULTS_EXCHANGE_SECONDS
+    if now >= contact_deadline:
+        outcome.duration = now - start_time
+        outcome.aborted = "results_overhead"
+        telemetry.on_chat_stage("results_overhead", now, False)
         _absorb_both(node_i, node_j, outcome)
         return outcome
 
@@ -164,25 +222,32 @@ def pairwise_chat(
     joint.extend(node_j.coreset.data.frames())
     model_deadline = min(contact_deadline, now + time_budget)
     if decision.psi_i > 0:
-        outcome.j_attempted = True
         compressed_i = node_i.compress_model(decision.psi_i)
-        sent = shared_channel(compressed_i.nominal_bytes, model_deadline)
-        now += sent.elapsed
-        if sent.completed:
-            node_j.receive_and_aggregate(
-                compressed_i, joint, mean_weights=mean_aggregation
-            )
-            outcome.j_received_model = True
+        # A positive psi can still round to an empty model (top-k keeps
+        # zero entries); a zero-byte "transfer" would complete instantly
+        # and inflate the receive rate, so skip it entirely.
+        if compressed_i.nominal_bytes > 0:
+            outcome.j_attempted = True
+            sent = shared_channel(compressed_i.nominal_bytes, model_deadline)
+            now += sent.elapsed
+            telemetry.on_chat_stage("model_i", now, sent.completed)
+            if sent.completed:
+                node_j.receive_and_aggregate(
+                    compressed_i, joint, mean_weights=mean_aggregation
+                )
+                outcome.j_received_model = True
     if decision.psi_j > 0:
-        outcome.i_attempted = True
         compressed_j = node_j.compress_model(decision.psi_j)
-        sent = shared_channel(compressed_j.nominal_bytes, model_deadline)
-        now += sent.elapsed
-        if sent.completed:
-            node_i.receive_and_aggregate(
-                compressed_j, joint, mean_weights=mean_aggregation
-            )
-            outcome.i_received_model = True
+        if compressed_j.nominal_bytes > 0:
+            outcome.i_attempted = True
+            sent = shared_channel(compressed_j.nominal_bytes, model_deadline)
+            now += sent.elapsed
+            telemetry.on_chat_stage("model_j", now, sent.completed)
+            if sent.completed:
+                node_i.receive_and_aggregate(
+                    compressed_j, joint, mean_weights=mean_aggregation
+                )
+                outcome.i_received_model = True
 
     # 6. absorb peer coresets, expanding local datasets.
     _absorb_both(node_i, node_j, outcome)

@@ -25,6 +25,7 @@ from repro.coreset import (
 from repro.nn import Adam, waypoint_l1
 from repro.nn.params import get_flat_params, set_flat_params
 from repro.sim.dataset import DrivingDataset, Frame
+from repro.telemetry import hooks as telemetry
 
 __all__ = ["NodeConfig", "VehicleNode"]
 
@@ -172,6 +173,7 @@ class VehicleNode:
             self.rng,
         )
         self._steps_since_refresh = 0
+        telemetry.on_coreset_refresh(self.node_id, len(self.coreset))
         return self.coreset
 
     def maybe_refresh_coreset(self) -> None:
@@ -200,6 +202,7 @@ class VehicleNode:
             self.coreset = reduce_coreset(
                 merged, losses, self.config.coreset_size, self.rng
             )
+            telemetry.on_coreset_merge(self.node_id, added)
         return added
 
     # -- model exchange ------------------------------------------------------------

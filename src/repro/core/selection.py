@@ -63,12 +63,22 @@ def select_longest_contact(trainer, i: int, candidates: list) -> int | None:
 
 
 def select_priority(trainer, i: int, candidates: list) -> int | None:
-    """Eq. 5: maximize z * p * min(B) (LbChat's rule)."""
+    """Eq. 5: maximize z * p * min(B) (LbChat's rule).
+
+    Every candidate can score exactly zero even though contact exists —
+    ``z`` truncates to 0 whenever no single contact fits the anticipated
+    exchange, and ``p`` can underflow.  Idling in that case wastes real
+    encounters, so the policy falls back to the longest predicted
+    contact among candidates that are reachable at all; only candidates
+    with no predicted contact whatsoever are skipped (chatting with them
+    would abort at the assist stage).
+    """
     if not candidates:
         return None
     from repro.core.chat import estimated_chat_bytes
 
     best, best_score = None, 0.0
+    estimates = {}
     for j in candidates:
         exchange_bytes = estimated_chat_bytes(
             trainer.nodes[i],
@@ -76,6 +86,7 @@ def select_priority(trainer, i: int, candidates: list) -> int | None:
             getattr(trainer.config, "anticipated_psi_total", 0.6),
         )
         estimate = trainer.contact_estimate(i, j, exchange_bytes)
+        estimates[j] = estimate
         score = priority_score(
             estimate,
             trainer.nodes[i].config.bandwidth_bps,
@@ -83,6 +94,10 @@ def select_priority(trainer, i: int, candidates: list) -> int | None:
         )
         if score > best_score:
             best, best_score = j, score
+    if best is None:
+        reachable = [j for j in candidates if estimates[j].contact_duration > 0.0]
+        if reachable:
+            return select_longest_contact(trainer, i, reachable)
     return best
 
 

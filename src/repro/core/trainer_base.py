@@ -36,6 +36,7 @@ from repro.net.contact import ContactEstimate, estimate_contact
 from repro.net.wireless import WirelessModel
 from repro.sim.dataset import DrivingDataset
 from repro.sim.traces import MobilityTraces
+from repro.telemetry import hooks as telemetry
 
 __all__ = ["TrainerConfig", "TrainerBase"]
 
@@ -163,6 +164,7 @@ class TrainerBase:
         for node in self.nodes:
             loss = node.evaluate(self.validation, with_penalty=False)
             self.loss_curve.record(node.node_id, self.sim.now, loss)
+        telemetry.on_record_tick(self.sim.now, len(self.nodes))
 
     # -- processes ------------------------------------------------------------
 
@@ -204,6 +206,7 @@ class TrainerBase:
 
     def run(self) -> None:
         """Execute the experiment until ``config.duration``."""
+        telemetry.on_run_started(self)
         for i in range(len(self.nodes)):
             self.sim.process(self._vehicle_process(i))
         self.sim.process(self._recorder_process())
@@ -212,3 +215,4 @@ class TrainerBase:
         self.sim.run(until=self.config.duration)
         # Final snapshot so curves end exactly at T.
         self.record_losses()
+        telemetry.on_run_finished(self)

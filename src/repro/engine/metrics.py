@@ -63,13 +63,16 @@ class TimeSeriesRecorder:
         """
         if not self._times:
             raise ValueError("no series recorded")
-        out = np.zeros_like(np.asarray(grid, dtype=float))
+        grid = np.asarray(grid, dtype=float)
+        out = np.zeros_like(grid)
         for key in self._times:
-            times = self._times[key]
-            values = self._values[key]
-            for i, t in enumerate(grid):
-                idx = bisect_right(times, t) - 1
-                out[i] += values[max(idx, 0)]
+            times = np.asarray(self._times[key])
+            values = np.asarray(self._values[key])
+            # searchsorted(side="right") - 1 is exactly bisect_right - 1:
+            # the last observation at or before each grid point; clamping
+            # to 0 extends a series' first value to earlier grid points.
+            idx = np.searchsorted(times, grid, side="right") - 1
+            out += values[np.maximum(idx, 0)]
         return out / len(self._times)
 
     def final_mean(self) -> float:

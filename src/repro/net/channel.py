@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.net.wireless import WirelessModel
+from repro.telemetry import hooks as telemetry
 
 __all__ = ["ChannelConfig", "TransferResult", "simulate_transfer", "transfer_time_lossless"]
 
@@ -88,6 +89,7 @@ def simulate_transfer(
     remaining = float(n_bytes)
     now = start_time
     delivered = 0.0
+    result = None
     while now < deadline:
         distance = distance_fn(now)
         if not wireless.in_range(distance):
@@ -99,8 +101,12 @@ def simulate_transfer(
         can_send = rate * chunk
         if can_send >= remaining:
             elapsed = now - start_time + remaining / rate
-            return TransferResult(True, elapsed, n_bytes)
+            result = TransferResult(True, elapsed, n_bytes)
+            break
         remaining -= can_send
         delivered += can_send
         now += chunk
-    return TransferResult(False, now - start_time, delivered)
+    if result is None:
+        result = TransferResult(False, now - start_time, delivered)
+    telemetry.on_transfer(n_bytes, result, start_time)
+    return result

@@ -1,0 +1,78 @@
+"""Wall-clock profiling of simulation components.
+
+The tracer measures *virtual* time; this module measures *host* time,
+for the component-speed question ("how fast does the simulator itself
+run?") that the tracer deliberately cannot answer.  The profiler is a
+plain accumulator — ``perf_counter`` deltas per named section — so its
+own overhead is one clock read on each side of the timed region.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["WallClockProfiler", "time_call"]
+
+
+class WallClockProfiler:
+    """Accumulates wall-clock seconds per named section."""
+
+    def __init__(self):
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def timeit(self, name: str):
+        """Time the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one timed occurrence of ``name``."""
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def summary(self) -> dict[str, dict]:
+        """Per-name {count, total_s, mean_s}, sorted by total descending."""
+        out = {}
+        for name in sorted(self._totals, key=self._totals.get, reverse=True):
+            total = self._totals[name]
+            count = self._counts[name]
+            out[name] = {
+                "count": count,
+                "total_s": total,
+                "mean_s": total / count if count else 0.0,
+            }
+        return out
+
+    def render(self) -> str:
+        """Summary as an aligned text block."""
+        rows = self.summary()
+        if not rows:
+            return "(no wall-clock sections timed)"
+        width = max(len(n) for n in rows)
+        lines = [f"{'section':{width}s} {'count':>7s} {'total':>9s} {'mean':>10s}"]
+        for name, stats in rows.items():
+            lines.append(
+                f"{name:{width}s} {stats['count']:7d} "
+                f"{stats['total_s']:8.3f}s {1e3 * stats['mean_s']:8.3f}ms"
+            )
+        return "\n".join(lines)
+
+
+def time_call(fn, repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for one call of ``fn``.
+
+    The minimum over repeats is the standard noise-resistant estimator
+    for component-speed comparisons (e.g. telemetry on vs off).
+    """
+    best = float("inf")
+    for _ in range(max(repeat, 1)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,143 @@
+"""Named metric instruments: counters, gauges, histograms.
+
+The :class:`MetricRegistry` is the accounting half of the telemetry
+layer.  It subsumes the ad-hoc recorders in :mod:`repro.engine.metrics`
+without replacing them: trainers keep their ``CounterSet`` /
+``ReceiveRateRecorder`` (cheap, always on), and a registry *adopts*
+their contents at snapshot time via :meth:`MetricRegistry.merge_counter_set`
+and :meth:`MetricRegistry.merge_receive_rate` — duck-typed so this
+module stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
+
+
+class Counter:
+    """A monotonically increasing scalar."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment by a non-negative amount."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} increment must be >= 0: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A scalar that can move both ways (last value wins)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution of observations (stores raw values).
+
+    Runs are short enough (thousands of chats, not billions) that
+    keeping raw observations is cheaper than getting bucket boundaries
+    wrong; summaries are computed lazily.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.values))
+
+    def summary(self) -> dict:
+        """count/sum/min/max/mean/p50/p90 of the observations so far."""
+        if not self.values:
+            return {"count": 0, "sum": 0.0}
+        arr = np.asarray(self.values)
+        return {
+            "count": int(arr.size),
+            "sum": float(arr.sum()),
+            "min": float(arr.min()),
+            "max": float(arr.max()),
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p90": float(np.percentile(arr, 90)),
+        }
+
+
+class MetricRegistry:
+    """Get-or-create home for named instruments."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter with this name (created on first use)."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge with this name (created on first use)."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram with this name (created on first use)."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    # -- interop with repro.engine.metrics ---------------------------------
+
+    def merge_counter_set(self, counter_set, prefix: str = "") -> None:
+        """Adopt an ``engine.metrics.CounterSet`` (anything with as_dict)."""
+        for name, value in counter_set.as_dict().items():
+            counter = self.counter(prefix + name)
+            counter.value = max(counter.value, float(value))
+
+    def merge_receive_rate(self, recorder, prefix: str = "model_rx.") -> None:
+        """Adopt an ``engine.metrics.ReceiveRateRecorder``."""
+        attempted = self.counter(prefix + "attempted")
+        completed = self.counter(prefix + "completed")
+        attempted.value = max(attempted.value, float(recorder.attempted))
+        completed.value = max(completed.value, float(recorder.completed))
+        self.gauge(prefix + "rate").set(recorder.rate)
+
+    # -- output ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All instruments as a plain nested dict (JSON-safe)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: g.value
+                for n, g in sorted(self._gauges.items())
+                if not math.isnan(g.value)
+            },
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }

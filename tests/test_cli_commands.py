@@ -117,3 +117,51 @@ def test_cmd_table_with_stubs(monkeypatch, capsys):
     output = capsys.readouterr().out
     assert "Table III" in output
     assert "LbChat=80%" in output
+
+
+def test_cmd_trace_with_stubs(monkeypatch, capsys, tmp_path):
+    from repro.telemetry import hooks
+
+    def fake_run_method(context, method, wireless, seed):
+        # Mimic an instrumented run: the active session sees one chat.
+        session = hooks.active()
+        assert session is not None, "trace must activate a TelemetrySession"
+        session.tracer.start_span("chat", 0.0, i="v0", j="v1")
+        session.tracer.end_span(1.0)
+        session.registry.counter("chat.count").inc()
+        session.registry.counter("chat.completed").inc()
+        return FakeResult()
+
+    monkeypatch.setattr(
+        "repro.experiments.io.cached_context", lambda scale: FakeContext()
+    )
+    monkeypatch.setattr("repro.experiments.runner.run_method", fake_run_method)
+    trace_path = tmp_path / "trace.jsonl"
+    csv_path = tmp_path / "metrics.csv"
+    code = cli.main(
+        ["trace", "--out", str(trace_path), "--csv", str(csv_path)]
+    )
+    assert code == 0
+    assert trace_path.exists() and csv_path.exists()
+    output = capsys.readouterr().out
+    assert "chats: 1" in output
+    assert "receive rate: 80.0%" in output
+    # The session deactivates after the command finishes.
+    from repro.telemetry import hooks as hooks_after
+
+    assert hooks_after.active() is None
+
+
+def test_cmd_report_from_trace(tmp_path, capsys):
+    from repro.telemetry import TelemetrySession, export_jsonl
+
+    session = TelemetrySession(label="saved run")
+    session.tracer.start_span("chat", 0.0)
+    session.tracer.end_span(2.0, status="aborted", aborted="coresets")
+    session.registry.counter("chat.count").inc()
+    session.registry.counter("chat.aborted.coresets").inc()
+    path = export_jsonl(session, tmp_path / "t.jsonl")
+    assert cli.main(["report", "--trace", str(path)]) == 0
+    output = capsys.readouterr().out
+    assert "saved run" in output
+    assert "coresets=1" in output

@@ -50,6 +50,15 @@ class TestCompressTopk:
         assert compressed.is_empty
         assert compressed.nominal_bytes == 0
 
+    def test_small_positive_psi_rounds_to_empty(self):
+        # k = psi * n / 2 rounds to 0: a positive psi can still produce a
+        # zero-byte model.  Senders must check nominal_bytes/is_empty, not
+        # psi > 0 — see the guard in core.chat (and its regression test).
+        compressed = compress_topk(np.ones(10, dtype=np.float32), 0.1, NOMINAL)
+        assert compressed.is_empty
+        assert compressed.psi == 0.0
+        assert compressed.nominal_bytes == 0
+
     def test_achieved_psi_close_to_target(self):
         flat = np.random.default_rng(0).normal(size=10_000).astype(np.float32)
         compressed = compress_topk(flat, 0.4, NOMINAL)

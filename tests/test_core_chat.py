@@ -92,6 +92,63 @@ class TestVariants:
         assert outcome.coresets_exchanged
 
 
+class TestEdgeCaseRegressions:
+    def test_rounded_to_empty_model_is_not_counted_as_reception(
+        self, node_pair, monkeypatch
+    ):
+        """A positive psi whose top-k rounds to zero entries must not be
+        counted as an attempted (let alone instantly successful) model
+        reception — that inflated the §IV-C receive rate."""
+        from repro.core.psi import PsiDecision
+
+        tiny = PsiDecision(psi_i=1e-7, psi_j=1e-7, objective=0.0, exchange_time=0.0)
+        monkeypatch.setattr(
+            "repro.core.chat.optimize_compression", lambda *a, **k: tiny
+        )
+        outcome = run_chat(node_pair)
+        assert outcome.coresets_exchanged
+        assert not outcome.i_attempted and not outcome.j_attempted
+        assert not outcome.i_received_model and not outcome.j_received_model
+
+    def test_results_overhead_respects_contact_deadline(self, node_pair):
+        """The fixed results-exchange overhead can cross the predicted
+        contact deadline; the chat must abort there instead of planning
+        Eq. 7 and starting model transfers against a dead pair."""
+        node_a, node_b = node_pair
+        rate = CHANNEL.bytes_per_second
+        transfer_bytes = (
+            2 * CHANNEL.assist_info_bytes
+            + node_a.coreset.nominal_bytes
+            + node_b.coreset.nominal_bytes
+            + 2 * 256
+        )
+        # Deadline clears all three transfers but not the 0.1 s overhead.
+        deadline = transfer_bytes / rate + 0.05
+        outcome = run_chat(node_pair, deadline=deadline, refresh_coresets=False)
+        assert outcome.aborted == "results_overhead"
+        assert not outcome.i_attempted and not outcome.j_attempted
+        # Coresets made it across before the cutoff and are still absorbed.
+        assert outcome.coresets_exchanged
+        assert outcome.absorbed_by_i > 0 and outcome.absorbed_by_j > 0
+
+    def test_overhead_not_charged_when_results_transfer_fails(self, node_pair):
+        """When the results transfer itself dies, the compute overhead is
+        no longer added on top of the failure."""
+        node_a, node_b = node_pair
+        rate = CHANNEL.bytes_per_second
+        transfer_bytes = (
+            2 * CHANNEL.assist_info_bytes
+            + node_a.coreset.nominal_bytes
+            + node_b.coreset.nominal_bytes
+        )
+        # Deadline lands between the coreset exchange and the (tiny)
+        # results payload completing.
+        deadline = (transfer_bytes + 256) / rate
+        outcome = run_chat(node_pair, deadline=deadline, refresh_coresets=False)
+        assert outcome.aborted == "results"
+        assert outcome.duration <= deadline + 1e-9
+
+
 class TestEqualCompressionDecision:
     def test_fills_window(self):
         decision = equal_compression_decision(
