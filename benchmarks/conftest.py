@@ -17,6 +17,7 @@ import pytest
 
 from repro.experiments.configs import get_scale
 from repro.experiments.runner import (
+    RunSpec,
     build_context,
     online_evaluate,
     run_method,
@@ -45,9 +46,10 @@ def get_run(context, method: str, wireless: bool, seed: int = 1, coreset_size=No
     """Memoized method run."""
     key = (method, wireless, seed, coreset_size)
     if key not in _runs:
-        _runs[key] = run_method(
+        spec = RunSpec.for_context(
             context, method, wireless=wireless, seed=seed, coreset_size=coreset_size
         )
+        _runs[key] = run_method(context, spec)
     return _runs[key]
 
 

@@ -11,7 +11,7 @@ competitive.
 import numpy as np
 
 from benchmarks.conftest import emit
-from repro.experiments.runner import run_method
+from repro.experiments.runner import RunSpec, run_method
 
 STRATEGIES = ("layered", "uniform", "kmeans")
 
@@ -20,9 +20,10 @@ def test_coreset_strategy_ablation(benchmark, context, scale):
     def run():
         finals = {}
         for strategy in STRATEGIES:
-            result = run_method(
+            spec = RunSpec.for_context(
                 context, "LbChat", wireless=True, seed=1, coreset_strategy=strategy
             )
+            result = run_method(context, spec)
             _, curve = result.loss_curve(9)
             finals[strategy] = (float(curve[-1]), result.receive_rate)
         return finals

@@ -8,7 +8,7 @@ altogether.  The sweep shows the paper's operating point (small positive
 """
 
 from benchmarks.conftest import emit
-from repro.experiments.runner import run_method
+from repro.experiments.runner import RunSpec, run_method
 
 LAMBDAS = (0.0, 0.02, 0.5)
 
@@ -17,13 +17,14 @@ def test_lambda_c_sweep(benchmark, context, scale):
     def run():
         out = {}
         for lam in LAMBDAS:
-            result = run_method(
+            spec = RunSpec.for_context(
                 context,
                 "LbChat",
                 wireless=True,
                 seed=1,
-                trainer_overrides={"lambda_c": lam},
+                overrides={"lambda_c": lam},
             )
+            result = run_method(context, spec)
             _, curve = result.loss_curve(9)
             chats = result.trainer.counters.get("chats")
             seconds = result.trainer.counters.get("chat_seconds")

@@ -101,6 +101,58 @@ def test_transfer_sim_speed_traced(benchmark):
     assert result.completed
 
 
+def test_parallel_engine_speed(benchmark, context, scale):
+    """Serial vs pooled execution of four independent runs.
+
+    Always asserts bit-identical results; the >= 2x speedup target from
+    the paper-reproduction roadmap only applies on >= 4 physical cores
+    (CI containers are often single-core), so it is asserted
+    conditionally and the measured ratio is archived either way.
+    """
+    import os
+    import time
+
+    from benchmarks.conftest import emit
+    from repro.experiments.runner import RunSpec
+    from repro.parallel import run_specs
+
+    specs = [
+        RunSpec.for_context(context, method, wireless=True, seed=seed)
+        for method in ("LbChat", "DP")
+        for seed in (1, 2)
+    ]
+
+    t0 = time.perf_counter()
+    serial = run_specs(specs, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    def pooled():
+        return run_specs(specs, jobs=4)
+
+    parallel = benchmark.pedantic(pooled, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.mean
+
+    for left, right in zip(serial, parallel):
+        assert np.array_equal(left.loss_curve(9)[1], right.loss_curve(9)[1])
+        assert left.receive_attempted == right.receive_attempted
+        for node_l, node_r in zip(left.nodes, right.nodes):
+            assert np.array_equal(node_l.flat_params, node_r.flat_params)
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    emit(
+        "parallel_speed",
+        "Parallel engine: 4 independent runs, serial vs 4-worker pool\n"
+        + "=" * 60
+        + f"\nserial   {serial_s:8.2f}s"
+        + f"\npool (4) {parallel_s:8.2f}s"
+        + f"\nspeedup  {speedup:8.2f}x on {cores} core(s)"
+        + "\nresults bit-identical: yes",
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, f"expected >= 2x on {cores} cores, got {speedup:.2f}x"
+
+
 def test_bev_render_speed(benchmark):
     town = TownMap(size=400.0, grid_n=3, seed=0)
     a, b = list(town.graph.edges())[0]

@@ -17,7 +17,7 @@ import numpy as np
 from repro.experiments.analysis import convergence_summary
 from repro.experiments.configs import CI
 from repro.experiments.multiseed import compare_methods, run_seeds
-from repro.experiments.runner import build_context, run_method
+from repro.experiments.runner import RunSpec, build_context, run_method
 from repro.sim.world import WorldConfig
 
 # A miniature scale so the walkthrough finishes in a couple of minutes.
@@ -48,7 +48,7 @@ def main() -> None:
     context = build_context(SCALE)
 
     print("\n== Chat-log anatomy of one LbChat run ==")
-    result = run_method(context, "LbChat", wireless=True, seed=1)
+    result = run_method(context, RunSpec.for_context(context, "LbChat", seed=1))
     log = result.trainer.chat_log
     print(f"  chats: {len(log)}")
     print(f"  mean psi per direction: {log.mean_psi():.2f}")
@@ -57,7 +57,7 @@ def main() -> None:
     print(f"  chats per vehicle: {log.per_vehicle_chats()}")
 
     print("\n== Convergence statistics (LbChat vs DP, seed 1) ==")
-    dp = run_method(context, "DP", wireless=True, seed=1)
+    dp = run_method(context, RunSpec.for_context(context, "DP", seed=1))
     grid, lb_curve = result.loss_curve(13)
     _, dp_curve = dp.loss_curve(13)
     summary = convergence_summary(grid, {"LbChat": lb_curve, "DP": dp_curve})

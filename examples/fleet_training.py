@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.experiments.configs import CI
 from repro.experiments.render import render_curves
-from repro.experiments.runner import build_context, run_method
+from repro.experiments.runner import RunSpec, build_context, run_method
 
 METHODS = ("ProxSkip", "DFL-DDS", "DP", "LbChat")
 
@@ -29,7 +29,7 @@ def main() -> None:
     curves, rates = {}, {}
     for method in METHODS:
         print(f"Training with {method} (wireless loss on)...")
-        result = run_method(context, method, wireless=True, seed=1)
+        result = run_method(context, RunSpec.for_context(context, method, seed=1))
         _, curves[method] = result.loss_curve(11)
         rates[method] = result.receive_rate
 

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""CI smoke test: the parallel engine is bit-identical to the serial path.
+
+Builds a miniature world, defines four independent runs (two methods x
+two seeds), executes them once with ``jobs=1`` and once with ``jobs=4``,
+and asserts the pool changed *nothing*:
+
+* loss curves, receive counts, and final node parameters are bitwise
+  equal per job;
+* results come back in submission order;
+* with a telemetry session active, the merged worker registries equal
+  the serial session's registry exactly.
+
+Prints both wall-clock times (speedup is only expected on >= 4 cores;
+it is reported, not asserted — determinism is what this script gates).
+Exits non-zero on any violation, so it can gate CI:
+
+    PYTHONPATH=src python scripts/parallel_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import replace
+
+import numpy as np
+
+
+def build_scale():
+    from repro.experiments.configs import CI
+    from repro.sim.world import WorldConfig
+
+    return replace(
+        CI,
+        name="parallel-smoke",
+        world=WorldConfig(
+            map_size=400.0,
+            grid_n=3,
+            n_vehicles=3,
+            n_background_cars=2,
+            n_pedestrians=5,
+            seed=13,
+            min_route_length=120.0,
+        ),
+        collect_duration=30.0,
+        trace_duration=120.0,
+        train_duration=40.0,
+        train_interval=2.0,
+        record_interval=10.0,
+        coreset_size=6,
+    )
+
+
+def run_batch(specs, jobs):
+    from repro.parallel import run_specs
+    from repro.telemetry import TelemetrySession
+
+    session = TelemetrySession(label=f"parallel smoke jobs={jobs}")
+    start = time.perf_counter()
+    with session:
+        results = run_specs(specs, jobs=jobs)
+    return results, session, time.perf_counter() - start
+
+
+def main() -> int:
+    from repro.experiments.runner import RunSpec, build_context
+
+    print("building mini world...")
+    scale = build_scale()
+    context = build_context(scale)
+
+    specs = [
+        RunSpec.for_context(context, method, wireless=True, seed=seed)
+        for method in ("LbChat", "DP")
+        for seed in (1, 2)
+    ]
+    print(f"running {len(specs)} jobs serially (jobs=1)...")
+    serial, serial_session, serial_s = run_batch(specs, jobs=1)
+    print(f"running {len(specs)} jobs in a pool (jobs=4)...")
+    parallel, parallel_session, parallel_s = run_batch(specs, jobs=4)
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(f"  [{'ok' if ok else 'FAIL'}] {what}")
+        if not ok:
+            failures.append(what)
+
+    for spec, left, right in zip(specs, serial, parallel):
+        label = f"{spec.method} seed={spec.seed}"
+        check(
+            left.method == right.method and left.seed == right.seed,
+            f"{label}: result arrives in submission order",
+        )
+        check(
+            np.array_equal(left.loss_curve(9)[1], right.loss_curve(9)[1]),
+            f"{label}: loss curve bitwise equal",
+        )
+        check(
+            (left.receive_attempted, left.receive_completed)
+            == (right.receive_attempted, right.receive_completed),
+            f"{label}: receive counts equal",
+        )
+        check(left.counters == right.counters, f"{label}: trainer counters equal")
+        params_equal = all(
+            np.array_equal(nl.flat_params, nr.flat_params)
+            for nl, nr in zip(left.nodes, right.nodes)
+        )
+        check(params_equal, f"{label}: final model parameters bitwise equal")
+
+    serial_state = serial_session.registry.state()
+    parallel_state = parallel_session.registry.state()
+    for kind in ("counters", "gauges", "histograms"):
+        check(
+            parallel_state[kind] == serial_state[kind],
+            f"telemetry registries merge identically ({kind})",
+        )
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(
+        f"\nwall-clock: serial {serial_s:.2f}s, pool {parallel_s:.2f}s "
+        f"({speedup:.2f}x on {cores} core(s); >= 2x expected only on >= 4 cores)"
+    )
+
+    if failures:
+        print(f"\nSMOKE FAILED: {len(failures)} check(s): {failures}")
+        return 1
+    print("\nsmoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,8 @@ import numpy as np
 from repro.experiments.configs import PAPER
 from repro.experiments.io import cached_context, save_run
 from repro.experiments.render import render_curves
-from repro.experiments.runner import online_evaluate, run_method
+from repro.experiments.runner import RunSpec, online_evaluate
+from repro.parallel import run_specs
 
 OUT_DIR = Path("paper_scale_out")
 
@@ -39,6 +40,11 @@ def main() -> int:
     parser.add_argument("--wireless", action=argparse.BooleanOptionalAction, default=True)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--eval", action="store_true", help="also run driving evaluation")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes to fan the methods out to (0 = all cores); "
+        "results are bit-identical to --jobs 1",
+    )
     args = parser.parse_args()
 
     OUT_DIR.mkdir(exist_ok=True)
@@ -52,15 +58,22 @@ def main() -> int:
 
     curves = {}
     grid = np.linspace(0.0, PAPER.train_duration, 21)
-    for method in args.methods:
-        t1 = time.time()
-        print(f"Running {method} (wireless={args.wireless})...")
-        result = run_method(context, method, wireless=args.wireless, seed=args.seed)
+    specs = [
+        RunSpec.for_context(
+            context, method, wireless=args.wireless, seed=args.seed, use_cache=True
+        )
+        for method in args.methods
+    ]
+    t1 = time.time()
+    print(f"Running {len(specs)} method(s) with --jobs {args.jobs} "
+          f"(wireless={args.wireless})...")
+    results = run_specs(specs, jobs=args.jobs)
+    print(f"  all runs done in {(time.time() - t1) / 60:.1f} min")
+    for method, result in zip(args.methods, results):
         _, curves[method] = result.loss_curve(21)
         slug = method.lower().replace(" ", "_").replace("(", "").replace(")", "").replace(".", "")
         save_run(result, OUT_DIR / f"run_{slug}.json")
-        print(f"  done in {(time.time() - t1) / 60:.1f} min; "
-              f"final loss {curves[method][-1]:.3f}, "
+        print(f"  {method}: final loss {curves[method][-1]:.3f}, "
               f"receive rate {100 * result.receive_rate:.1f}%")
         if args.eval:
             rates = online_evaluate(result, context, seed=args.seed)

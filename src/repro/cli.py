@@ -30,6 +30,27 @@ def _add_scale_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for independent runs (0 = all cores); "
+        "results are bit-identical to --jobs 1",
+    )
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every single-training-run command (run, trace)."""
+    parser.add_argument("--method", default="LbChat")
+    _add_scale_arg(parser)
+    parser.add_argument("--wireless", action=argparse.BooleanOptionalAction, default=True)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="use the on-disk context cache",
+    )
+    _add_jobs_arg(parser)
+
+
 def _cmd_scales(args: argparse.Namespace) -> int:
     for name in ("ci", "paper"):
         scale = get_scale(name)
@@ -43,19 +64,21 @@ def _cmd_scales(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments.io import cached_context, save_run
-    from repro.experiments.runner import run_method
+    from repro.experiments.io import save_run
+    from repro.experiments.runner import RunSpec
+    from repro.parallel import run_specs
 
     scale = get_scale(args.scale)
-    context = cached_context(scale) if args.cache else _fresh_context(scale)
-    print(f"Training {args.method} (scale={args.scale}, wireless={args.wireless})...")
-    result = run_method(
-        context,
-        args.method,
+    spec = RunSpec(
+        method=args.method,
+        scale=scale,
         wireless=args.wireless,
         seed=args.seed,
         coreset_size=args.coreset_size,
+        use_cache=args.cache,
     )
+    print(f"Training {args.method} (scale={args.scale}, wireless={args.wireless})...")
+    result = run_specs([spec], jobs=args.jobs)[0]
     grid, curve = result.loss_curve(11)
     print(render_curves(f"{args.method}: fleet validation loss", grid, {args.method: curve}))
     print(f"receive rate: {100 * result.receive_rate:.1f}%")
@@ -68,12 +91,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
         save_model(result.nodes[0].model, args.save_model)
         print(f"model checkpoint written to {args.save_model}")
     return 0
-
-
-def _fresh_context(scale):
-    from repro.experiments.runner import build_context
-
-    return build_context(scale)
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -89,7 +106,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     }[args.number]
     print(f"Reproducing Table {args.number} at scale {args.scale} "
           "(trains every required method; this takes a while)...")
-    result = fn(args.scale, seed=args.seed)
+    result = fn(args.scale, seed=args.seed, jobs=args.jobs)
     print(result.render())
     if result.receive_rates:
         print("\nreceive rates: " + ", ".join(
@@ -102,9 +119,11 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     from repro.experiments import figures
 
     if args.which in ("2a", "2b"):
-        result = figures.fig2(args.scale, wireless=args.which == "2b", seed=args.seed)
+        result = figures.fig2(
+            args.scale, wireless=args.which == "2b", seed=args.seed, jobs=args.jobs
+        )
     else:
-        result = figures.fig3(args.scale, seed=args.seed)
+        result = figures.fig3(args.scale, seed=args.seed, jobs=args.jobs)
     print(result.render())
     return 0
 
@@ -112,7 +131,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
 def _cmd_rates(args: argparse.Namespace) -> int:
     from repro.experiments.figures import receive_rates
 
-    rates = receive_rates(args.scale, seed=args.seed)
+    rates = receive_rates(args.scale, seed=args.seed, jobs=args.jobs)
     print("Successful model receiving rate (w wireless loss)")
     for method, rate in rates.items():
         print(f"  {method:10s} {100 * rate:5.1f}%")
@@ -161,16 +180,22 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.experiments.io import cached_context
-    from repro.experiments.runner import run_method
+    from repro.experiments.runner import RunSpec
+    from repro.parallel import run_specs
     from repro.telemetry import TelemetrySession, export_jsonl, report_session
 
     scale = get_scale(args.scale)
-    context = cached_context(scale) if args.cache else _fresh_context(scale)
+    spec = RunSpec(
+        method=args.method,
+        scale=scale,
+        wireless=args.wireless,
+        seed=args.seed,
+        use_cache=args.cache,
+    )
     print(f"Tracing {args.method} (scale={args.scale}, wireless={args.wireless})...")
     session = TelemetrySession(label=f"{args.method} @ {args.scale}")
     with session:
-        result = run_method(context, args.method, wireless=args.wireless, seed=args.seed)
+        result = run_specs([spec], jobs=args.jobs)[0]
     path = export_jsonl(session, args.out)
     print(report_session(session))
     print(f"\ntrace written to {path}")
@@ -241,34 +266,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_scales)
 
     p = sub.add_parser("run", help="train one method")
-    p.add_argument("--method", default="LbChat")
-    _add_scale_arg(p)
-    p.add_argument("--wireless", action=argparse.BooleanOptionalAction, default=True)
-    p.add_argument("--seed", type=int, default=1)
+    _add_run_args(p)
     p.add_argument("--coreset-size", type=int, default=None)
     p.add_argument("--out", default=None, help="archive run results to JSON")
     p.add_argument("--save-model", default=None, help="write a model checkpoint (.npz)")
-    p.add_argument(
-        "--cache", action=argparse.BooleanOptionalAction, default=True,
-        help="use the on-disk context cache",
-    )
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("table", help="reproduce a paper table")
     p.add_argument("number", choices=("2", "3", "4", "5", "6", "7"))
     _add_scale_arg(p)
     p.add_argument("--seed", type=int, default=1)
+    _add_jobs_arg(p)
     p.set_defaults(fn=_cmd_table)
 
     p = sub.add_parser("fig", help="reproduce a paper figure")
     p.add_argument("which", choices=("2a", "2b", "3"))
     _add_scale_arg(p)
     p.add_argument("--seed", type=int, default=1)
+    _add_jobs_arg(p)
     p.set_defaults(fn=_cmd_fig)
 
     p = sub.add_parser("rates", help="§IV-C receive-rate comparison")
     _add_scale_arg(p)
     p.add_argument("--seed", type=int, default=1)
+    _add_jobs_arg(p)
     p.set_defaults(fn=_cmd_rates)
 
     p = sub.add_parser("scenario", help="run stress scenarios on a checkpoint")
@@ -279,16 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_scenario)
 
     p = sub.add_parser("trace", help="train one method with telemetry on")
-    p.add_argument("--method", default="LbChat")
-    _add_scale_arg(p)
-    p.add_argument("--wireless", action=argparse.BooleanOptionalAction, default=True)
-    p.add_argument("--seed", type=int, default=1)
+    _add_run_args(p)
     p.add_argument("--out", default="trace.jsonl", help="JSONL trace destination")
     p.add_argument("--csv", default=None, help="also dump the metric snapshot as CSV")
-    p.add_argument(
-        "--cache", action=argparse.BooleanOptionalAction, default=True,
-        help="use the on-disk context cache",
-    )
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("report", help="assemble the reproduction report")

@@ -16,7 +16,7 @@ from repro.engine.metrics import (
     ReceiveRateRecorder,
     TimeSeriesRecorder,
 )
-from repro.engine.random import spawn_rng
+from repro.engine.random import spawn_rng, spawn_seed
 from repro.engine.resources import Grant, Resource
 
 __all__ = [
@@ -30,4 +30,5 @@ __all__ = [
     "ReceiveRateRecorder",
     "TimeSeriesRecorder",
     "spawn_rng",
+    "spawn_seed",
 ]

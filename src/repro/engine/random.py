@@ -4,6 +4,11 @@ Every stochastic component takes a :class:`numpy.random.Generator`.  To
 keep experiments reproducible regardless of how many components exist or
 in what order they are built, child generators are derived from a root
 seed plus a *name*, never by sharing one generator object.
+
+This is also what makes runs *parallelizable*: a job's entire stream
+tree is a pure function of its own root seed, so seeds are spawned
+per-job (from the job description) rather than per-loop-iteration, and
+fanning jobs out to worker processes cannot change any result.
 """
 
 from __future__ import annotations
@@ -12,16 +17,25 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["spawn_rng"]
+__all__ = ["spawn_rng", "spawn_seed"]
+
+
+def spawn_seed(root_seed: int, name: str) -> int:
+    """Derive a child integer seed deterministically from seed and name.
+
+    The same ``(root_seed, name)`` pair always yields the same value,
+    and distinct names yield statistically independent seeds (the name
+    is folded in through SHA-256).  Use this to mint independent
+    per-job seeds for fan-out without any sequential RNG state.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
 
 
 def spawn_rng(root_seed: int, name: str) -> np.random.Generator:
     """Create a generator deterministically derived from seed and name.
 
     The same ``(root_seed, name)`` pair always yields an identical
-    stream, and distinct names yield statistically independent streams
-    (the name is folded in through SHA-256).
+    stream (see :func:`spawn_seed`).
     """
-    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
-    child_seed = int.from_bytes(digest[:8], "little")
-    return np.random.default_rng(child_seed)
+    return np.random.default_rng(spawn_seed(root_seed, name))

@@ -17,10 +17,14 @@ from repro.experiments.configs import ExperimentScale, get_scale
 from repro.experiments.runner import (
     ExperimentContext,
     METHOD_NAMES,
+    RunResult,
+    RunSpec,
     build_context,
+    make_config,
     make_nodes,
     make_trainer,
     online_evaluate,
+    register_context,
     run_method,
 )
 from repro.experiments.render import render_curves, render_table
@@ -69,9 +73,13 @@ __all__ = [
     "get_scale",
     "ExperimentContext",
     "METHOD_NAMES",
+    "RunSpec",
+    "RunResult",
     "build_context",
+    "make_config",
     "make_nodes",
     "make_trainer",
+    "register_context",
     "run_method",
     "online_evaluate",
     "render_table",

@@ -13,7 +13,8 @@ import numpy as np
 
 from repro.experiments.configs import ExperimentScale, get_scale
 from repro.experiments.render import render_curves
-from repro.experiments.runner import build_context, run_method
+from repro.experiments.runner import RunSpec, build_context, register_context
+from repro.parallel import run_specs
 
 __all__ = ["FigureResult", "fig2", "fig3", "receive_rates"]
 
@@ -46,21 +47,39 @@ class FigureResult:
         return float(self.grid[below[0]]) if len(below) else float(self.grid[-1])
 
 
+def _method_curves(
+    methods: tuple[str, ...],
+    scale: ExperimentScale,
+    wireless: bool,
+    seed: int,
+    n_points: int,
+    jobs: int,
+) -> dict[str, np.ndarray]:
+    """One loss curve per method, trained serially or across workers."""
+    context = build_context(scale)
+    register_context(context)
+    specs = [
+        RunSpec.for_context(context, method, wireless=wireless, seed=seed)
+        for method in methods
+    ]
+    results = run_specs(specs, jobs=jobs)
+    return {
+        method: result.loss_curve(n_points)[1]
+        for method, result in zip(methods, results)
+    }
+
+
 def fig2(
     scale: ExperimentScale | str = "ci",
     wireless: bool = False,
     seed: int = 1,
     n_points: int = 21,
+    jobs: int = 1,
 ) -> FigureResult:
     """Fig. 2(a) (wireless=False) / Fig. 2(b) (wireless=True)."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
-    context = build_context(scale)
-    curves: dict[str, np.ndarray] = {}
     grid = np.linspace(0.0, scale.train_duration, n_points)
-    for method in FIG2_METHODS:
-        result = run_method(context, method, wireless=wireless, seed=seed)
-        _, curve = result.loss_curve(n_points)
-        curves[method] = curve
+    curves = _method_curves(FIG2_METHODS, scale, wireless, seed, n_points, jobs)
     label = "w" if wireless else "w/o"
     return FigureResult(
         title=f"Fig. 2: training loss vs. time ({label} wireless loss)",
@@ -74,29 +93,29 @@ def fig3(
     wireless: bool = True,
     seed: int = 1,
     n_points: int = 21,
+    jobs: int = 1,
 ) -> FigureResult:
     """Fig. 3: LbChat vs SCO convergence speed."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
-    context = build_context(scale)
     grid = np.linspace(0.0, scale.train_duration, n_points)
-    curves: dict[str, np.ndarray] = {}
-    for method in ("LbChat", "SCO"):
-        result = run_method(context, method, wireless=wireless, seed=seed)
-        _, curve = result.loss_curve(n_points)
-        curves[method] = curve
+    curves = _method_curves(("LbChat", "SCO"), scale, wireless, seed, n_points, jobs)
     return FigureResult(
         title="Fig. 3: training loss vs. time (LbChat & SCO)", grid=grid, curves=curves
     )
 
 
 def receive_rates(
-    scale: ExperimentScale | str = "ci", seed: int = 1
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
 ) -> dict[str, float]:
     """§IV-C: successful model receiving rate per method, under loss."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
     context = build_context(scale)
-    rates = {}
-    for method in FIG2_METHODS:
-        result = run_method(context, method, wireless=True, seed=seed)
-        rates[method] = result.receive_rate
-    return rates
+    register_context(context)
+    specs = [
+        RunSpec.for_context(context, method, wireless=True, seed=seed)
+        for method in FIG2_METHODS
+    ]
+    results = run_specs(specs, jobs=jobs)
+    return {
+        method: result.receive_rate for method, result in zip(FIG2_METHODS, results)
+    }

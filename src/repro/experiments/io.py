@@ -25,6 +25,7 @@ from repro.experiments.runner import (
     ExperimentContext,
     RunResult,
     build_context,
+    register_context,
 )
 
 __all__ = ["scale_fingerprint", "cached_context", "save_run", "load_run"]
@@ -65,6 +66,7 @@ def cached_context(
             with open(path, "rb") as fh:
                 context = pickle.load(fh)
             if isinstance(context, ExperimentContext):
+                register_context(context)
                 return context
         except (pickle.UnpicklingError, EOFError, AttributeError):
             path.unlink(missing_ok=True)
@@ -78,20 +80,24 @@ def cached_context(
 
 
 def save_run(result: RunResult, path: str | Path, n_points: int = 41) -> None:
-    """Archive a run's outputs as JSON."""
+    """Archive a run's outputs as JSON.
+
+    Only the result's own (picklable) fields are touched, so results
+    returned from worker processes archive identically to serial ones.
+    """
     grid, curve = result.loss_curve(n_points)
     payload = {
         "method": result.method,
-        "duration": result.trainer.config.duration,
-        "wireless_loss": result.trainer.config.wireless_loss,
-        "seed": result.trainer.config.seed,
+        "duration": result.duration,
+        "wireless_loss": result.wireless,
+        "seed": result.seed,
         "grid": grid.tolist(),
         "loss_curve": curve.tolist(),
         "receive_rate": result.receive_rate,
-        "counters": result.trainer.counters.as_dict(),
+        "counters": dict(result.counters),
         "per_vehicle_final_loss": {
-            key: result.trainer.loss_curve.series(key)[1][-1]
-            for key in result.trainer.loss_curve.keys()
+            key: result.loss_recorder.series(key)[1][-1]
+            for key in result.loss_recorder.keys()
         },
     }
     path = Path(path)

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
-from repro.experiments.runner import ExperimentContext, run_method
+from repro.experiments.runner import ExperimentContext, RunSpec, register_context
+from repro.parallel import run_specs
 
 __all__ = ["SeedSummary", "run_seeds", "compare_methods", "aggregate_tables"]
 
@@ -62,16 +63,46 @@ def run_seeds(
     seeds: list[int],
     wireless: bool = True,
     n_points: int = 21,
-    **run_kwargs,
+    jobs: int = 1,
+    coreset_size: int | None = None,
+    coreset_strategy: str | None = None,
+    overrides: dict | None = None,
 ) -> SeedSummary:
-    """Run one method across several seeds and stack the loss curves."""
+    """Run one method across several seeds and stack the loss curves.
+
+    One :class:`RunSpec` is built per seed and executed through
+    :func:`repro.parallel.run_specs` — ``jobs > 1`` fans the seeds out
+    to worker processes with bit-identical results and ordering.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    register_context(context)  # serial path / forked workers reuse it
+    specs = [
+        RunSpec.for_context(
+            context,
+            method,
+            wireless=wireless,
+            seed=seed,
+            coreset_size=coreset_size,
+            coreset_strategy=coreset_strategy,
+            overrides=dict(overrides or {}),
+        )
+        for seed in seeds
+    ]
+    results = run_specs(specs, jobs=jobs)
     curves, rates = [], []
     grid = None
-    for seed in seeds:
-        result = run_method(context, method, wireless=wireless, seed=seed, **run_kwargs)
-        grid, curve = result.loss_curve(n_points)
+    for seed, result in zip(seeds, results):
+        seed_grid, curve = result.loss_curve(n_points)
+        if grid is None:
+            grid = seed_grid
+        elif not np.array_equal(seed_grid, grid):
+            raise ValueError(
+                f"seed {seed} produced a different time grid than seed "
+                f"{seeds[0]} (durations {seed_grid[-1]} vs {grid[-1]}, "
+                f"{len(seed_grid)} vs {len(grid)} points); seeds of one "
+                "summary must share duration and n_points"
+            )
         curves.append(curve)
         rates.append(result.receive_rate)
     return SeedSummary(

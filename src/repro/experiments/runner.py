@@ -6,17 +6,27 @@ per-vehicle datasets and mobility traces — happens once per scale in
 from identical initial models, identical local datasets, and identical
 encounter patterns, so differences in outcomes are attributable to the
 methods alone, matching the paper's controlled comparison.
+
+One run is described by a :class:`RunSpec` — a small picklable job
+description that carries everything a worker process needs to reproduce
+the run from scratch (the scale, the method, the seed, and any config
+overrides).  :func:`run_method` executes a spec against a context and
+returns a :class:`RunResult`, which is likewise plain picklable data so
+results can cross process boundaries (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
 
 import numpy as np
 
 from repro.baselines import (
     DflDdsTrainer,
     DpTrainer,
+    LocalOnlyTrainer,
     ProxSkipTrainer,
     RsuLTrainer,
     ScoTrainer,
@@ -30,7 +40,8 @@ from repro.baselines.proxskip import ProxSkipConfig
 from repro.baselines.rsul import RsuLConfig
 from repro.core.lbchat import LbChatConfig, LbChatTrainer
 from repro.core.node import NodeConfig, VehicleNode
-from repro.core.trainer_base import TrainerBase
+from repro.core.trainer_base import TrainerBase, TrainerConfig
+from repro.engine.metrics import TimeSeriesRecorder
 from repro.engine.random import spawn_rng
 from repro.experiments.configs import ExperimentScale
 from repro.nn import make_driving_model
@@ -42,10 +53,13 @@ from repro.sim.world import World
 
 __all__ = [
     "ExperimentContext",
+    "RunSpec",
     "RunResult",
     "METHOD_NAMES",
     "build_context",
+    "register_context",
     "make_nodes",
+    "make_config",
     "make_trainer",
     "run_method",
     "online_evaluate",
@@ -76,27 +90,114 @@ class ExperimentContext:
     traces: MobilityTraces
 
 
-@dataclass
-class RunResult:
-    """Output of one method's collaborative-training run."""
+@dataclass(frozen=True)
+class RunSpec:
+    """Picklable description of one (method, seed, scale, wireless) run.
+
+    A spec is self-contained: a worker process that receives one can
+    rebuild the context from ``scale`` and reproduce the run exactly —
+    every RNG stream is re-derived from ``(seed, name)`` inside the run,
+    so execution order across jobs never changes results.
+
+    ``overrides`` sets trainer-config fields by name (validated against
+    the method's config class via :func:`make_config`); ``use_cache``
+    lets workers resolve the context through the on-disk cache instead
+    of rebuilding it.
+    """
 
     method: str
-    trainer: TrainerBase
+    scale: ExperimentScale
+    wireless: bool = True
+    seed: int = 1
+    coreset_size: int | None = None
+    coreset_strategy: str | None = None
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    use_cache: bool = False
+
+    def __post_init__(self):
+        if self.method not in METHOD_NAMES:
+            raise ValueError(
+                f"unknown method {self.method!r}; choose from {METHOD_NAMES}"
+            )
+        object.__setattr__(self, "overrides", dict(self.overrides))
+
+    @classmethod
+    def for_context(cls, context: ExperimentContext, method: str, **kwargs) -> "RunSpec":
+        """A spec targeting an already-built context's scale."""
+        return cls(method=method, scale=context.scale, **kwargs)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable job label (logs, telemetry, progress)."""
+        loss = "w" if self.wireless else "w/o"
+        return f"{self.method} @ {self.scale.name} seed={self.seed} ({loss} loss)"
+
+
+@dataclass
+class RunResult:
+    """Output of one method's collaborative-training run.
+
+    Plain data plus the trained nodes: everything downstream consumers
+    need (curves, rates, counters, deployable models) without the live
+    trainer, so results pickle cleanly across process boundaries.  On
+    the serial path ``trainer`` still exposes the full trainer for
+    inspection; it is dropped on pickle (simulator generators cannot
+    cross processes).
+    """
+
+    method: str
+    seed: int
+    wireless: bool
+    duration: float
+    loss_recorder: TimeSeriesRecorder
+    receive_attempted: int
+    receive_completed: int
+    counters: dict[str, float]
     nodes: list[VehicleNode]
+    spec: RunSpec | None = None
+    trainer: TrainerBase | None = None
+
+    @classmethod
+    def from_trainer(
+        cls, spec: RunSpec, trainer: TrainerBase, nodes: list[VehicleNode]
+    ) -> "RunResult":
+        """Capture a finished trainer's measurable outputs."""
+        return cls(
+            method=spec.method,
+            seed=spec.seed,
+            wireless=trainer.config.wireless_loss,
+            duration=trainer.config.duration,
+            loss_recorder=trainer.loss_curve,
+            receive_attempted=trainer.receive_rate.attempted,
+            receive_completed=trainer.receive_rate.completed,
+            counters=dict(trainer.counters.as_dict()),
+            nodes=nodes,
+            spec=spec,
+            trainer=trainer,
+        )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["trainer"] = None  # simulator generators are not picklable
+        return state
 
     @property
     def receive_rate(self) -> float:
         """The run's §IV-C model-receive completion rate."""
-        return self.trainer.receive_rate.rate
+        return (
+            self.receive_completed / self.receive_attempted
+            if self.receive_attempted
+            else 0.0
+        )
 
     def loss_curve(self, n_points: int = 21) -> tuple[np.ndarray, np.ndarray]:
         """(grid, mean fleet validation loss) over the run."""
-        grid = np.linspace(0.0, self.trainer.config.duration, n_points)
-        return grid, self.trainer.loss_curve.mean_curve(grid)
+        grid = np.linspace(0.0, self.duration, n_points)
+        return grid, self.loss_recorder.mean_curve(grid)
 
     def final_loss(self) -> float:
         """Mean of each vehicle's final recorded loss."""
-        return self.trainer.loss_curve.final_mean()
+        return self.loss_recorder.final_mean()
 
 
 _context_cache: dict[str, ExperimentContext] = {}
@@ -125,6 +226,16 @@ def build_context(scale: ExperimentScale) -> ExperimentContext:
     return context
 
 
+def register_context(context: ExperimentContext) -> None:
+    """Adopt an externally built context into the per-process memo.
+
+    Lets contexts loaded from the disk cache (or built by hand) be found
+    by code that resolves contexts through :func:`build_context` — e.g.
+    the serial path of :func:`repro.parallel.run_specs`.
+    """
+    _context_cache[context.scale.name] = context
+
+
 def make_nodes(context: ExperimentContext, seed: int = 1) -> list[VehicleNode]:
     """Fresh nodes with identical model initializations (§II-A)."""
     scale = context.scale
@@ -150,6 +261,54 @@ def make_nodes(context: ExperimentContext, seed: int = 1) -> list[VehicleNode]:
     return nodes
 
 
+#: Trainer-config class per method name (ablations share LbChatConfig).
+_CONFIG_CLASSES: dict[str, type[TrainerConfig]] = {
+    "Local": TrainerConfig,
+    "ProxSkip": ProxSkipConfig,
+    "RSU-L": RsuLConfig,
+    "DFL-DDS": DflDdsConfig,
+    "DP": DpConfig,
+    "LbChat": LbChatConfig,
+    "SCO": LbChatConfig,
+    "LbChat (equal comp.)": LbChatConfig,
+    "LbChat (avg. agg.)": LbChatConfig,
+    "LbChat (no priority)": LbChatConfig,
+}
+
+#: Trainer factory per method name: (nodes, traces, validation, config).
+_TRAINER_FACTORIES = {
+    "Local": LocalOnlyTrainer,
+    "ProxSkip": ProxSkipTrainer,
+    "RSU-L": RsuLTrainer,
+    "DFL-DDS": DflDdsTrainer,
+    "DP": DpTrainer,
+    "LbChat": LbChatTrainer,
+    "SCO": ScoTrainer,
+    "LbChat (equal comp.)": equal_compression_trainer,
+    "LbChat (avg. agg.)": mean_aggregation_trainer,
+    "LbChat (no priority)": no_prioritization_trainer,
+}
+
+
+def make_config(method: str, **overrides) -> TrainerConfig:
+    """Build a method's trainer config without importing its class.
+
+    Callers tweak one field via ``make_config("DP", lambda_c=0.2)``
+    instead of importing the per-baseline ``*Config`` classes.  Unknown
+    fields raise :class:`AttributeError` naming the offending key.
+    """
+    cls = _CONFIG_CLASSES.get(method)
+    if cls is None:
+        raise ValueError(f"unknown method {method!r}; choose from {METHOD_NAMES}")
+    valid = {f.name for f in fields(cls)}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise AttributeError(
+            f"{method} config ({cls.__name__}) has no field(s) {unknown}"
+        )
+    return cls(**overrides)
+
+
 def _base_trainer_kwargs(scale: ExperimentScale, wireless: bool, seed: int) -> dict:
     return dict(
         duration=scale.train_duration,
@@ -166,76 +325,75 @@ def make_trainer(
     context: ExperimentContext,
     wireless: bool = True,
     seed: int = 1,
-    coreset_size: int | None = None,
+    overrides: Mapping[str, Any] | None = None,
 ) -> TrainerBase:
-    """Instantiate any method by its paper name."""
+    """Instantiate any method by its paper name.
+
+    ``overrides`` sets trainer-config fields (validated by
+    :func:`make_config`) on top of the scale's base parameters.
+    """
     scale = context.scale
     kwargs = _base_trainer_kwargs(scale, wireless, seed)
-    traces, validation = context.traces, context.validation
-    if method == "Local":
-        from repro.baselines import LocalOnlyTrainer
-        from repro.core.trainer_base import TrainerConfig
-
-        return LocalOnlyTrainer(nodes, traces, validation, TrainerConfig(**kwargs))
-    if method == "ProxSkip":
-        return ProxSkipTrainer(nodes, traces, validation, ProxSkipConfig(**kwargs))
-    if method == "RSU-L":
+    kwargs.update(overrides or {})
+    if method == "RSU-L" and "rsu_range" not in kwargs:
         # RSU radio range scaled to the map so that, like in the paper's
         # 1 km world, vehicles regularly leave RSU coverage.
-        rsu_range = min(500.0, scale.world.map_size * 0.4)
-        return RsuLTrainer(
-            nodes, traces, validation, RsuLConfig(rsu_range=rsu_range, **kwargs)
-        )
-    if method == "DFL-DDS":
-        return DflDdsTrainer(nodes, traces, validation, DflDdsConfig(**kwargs))
-    if method == "DP":
-        return DpTrainer(nodes, traces, validation, DpConfig(**kwargs))
-    if method == "LbChat":
-        return LbChatTrainer(nodes, traces, validation, LbChatConfig(**kwargs))
-    if method == "SCO":
-        return ScoTrainer(nodes, traces, validation, LbChatConfig(**kwargs))
-    if method == "LbChat (equal comp.)":
-        return equal_compression_trainer(nodes, traces, validation, LbChatConfig(**kwargs))
-    if method == "LbChat (avg. agg.)":
-        return mean_aggregation_trainer(nodes, traces, validation, LbChatConfig(**kwargs))
-    if method == "LbChat (no priority)":
-        return no_prioritization_trainer(nodes, traces, validation, LbChatConfig(**kwargs))
-    raise ValueError(f"unknown method {method!r}; choose from {METHOD_NAMES}")
+        kwargs["rsu_range"] = min(500.0, scale.world.map_size * 0.4)
+    config = make_config(method, **kwargs)
+    factory = _TRAINER_FACTORIES[method]
+    return factory(nodes, context.traces, context.validation, config)
 
 
-def run_method(
-    context: ExperimentContext,
-    method: str,
-    wireless: bool = True,
-    seed: int = 1,
-    coreset_size: int | None = None,
-    coreset_strategy: str | None = None,
-    trainer_overrides: dict | None = None,
-) -> RunResult:
-    """Train one method on the shared context and return its results.
+def run_method(context: ExperimentContext, spec, /, **legacy_kwargs) -> RunResult:
+    """Train one spec on the shared context and return its results.
 
-    ``coreset_size`` overrides the scale's default (Table IV study);
-    ``coreset_strategy`` switches Algorithm 1 for a §V alternative;
-    ``trainer_overrides`` sets attributes on the trainer config (e.g.
-    ``{"lambda_c": 0.2}`` for Eq. 7 sensitivity studies).
+    The canonical form is ``run_method(context, spec)`` with a
+    :class:`RunSpec`.  Passing a method name plus keyword arguments
+    (``wireless``, ``seed``, ``coreset_size``, ``coreset_strategy``,
+    ``trainer_overrides``) still works but is deprecated — it is mapped
+    onto a spec internally.
     """
-    nodes = make_nodes(context, seed=seed)
-    overrides = {}
-    if coreset_size is not None:
-        overrides["coreset_size"] = coreset_size
-    if coreset_strategy is not None:
-        overrides["coreset_strategy"] = coreset_strategy
-    if overrides:
+    if not isinstance(spec, RunSpec):
+        warnings.warn(
+            "run_method(context, method, **kwargs) is deprecated; build a "
+            "RunSpec and call run_method(context, spec)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = RunSpec.for_context(
+            context,
+            spec,
+            wireless=legacy_kwargs.pop("wireless", True),
+            seed=legacy_kwargs.pop("seed", 1),
+            coreset_size=legacy_kwargs.pop("coreset_size", None),
+            coreset_strategy=legacy_kwargs.pop("coreset_strategy", None),
+            overrides=legacy_kwargs.pop("trainer_overrides", None) or {},
+        )
+        if legacy_kwargs:
+            raise TypeError(f"unknown run_method arguments {sorted(legacy_kwargs)}")
+    elif legacy_kwargs:
+        raise TypeError("run_method(context, spec) takes no extra keyword arguments")
+
+    nodes = make_nodes(context, seed=spec.seed)
+    node_overrides = {}
+    if spec.coreset_size is not None:
+        node_overrides["coreset_size"] = spec.coreset_size
+    if spec.coreset_strategy is not None:
+        node_overrides["coreset_strategy"] = spec.coreset_strategy
+    if node_overrides:
         for node in nodes:
-            node.config = replace(node.config, **overrides)
+            node.config = replace(node.config, **node_overrides)
             node.refresh_coreset()
-    trainer = make_trainer(method, nodes, context, wireless=wireless, seed=seed)
-    for key, value in (trainer_overrides or {}).items():
-        if not hasattr(trainer.config, key):
-            raise AttributeError(f"{method} config has no field {key!r}")
-        setattr(trainer.config, key, value)
+    trainer = make_trainer(
+        spec.method,
+        nodes,
+        context,
+        wireless=spec.wireless,
+        seed=spec.seed,
+        overrides=spec.overrides,
+    )
     trainer.run()
-    return RunResult(method=method, trainer=trainer, nodes=nodes)
+    return RunResult.from_trainer(spec, trainer, nodes)
 
 
 def select_eval_nodes(result: RunResult, context: ExperimentContext) -> list[VehicleNode]:

@@ -13,10 +13,12 @@ from repro.experiments.configs import ExperimentScale, get_scale
 from repro.experiments.render import render_table
 from repro.experiments.runner import (
     ExperimentContext,
+    RunSpec,
     build_context,
     online_evaluate,
-    run_method,
+    register_context,
 )
+from repro.parallel import run_specs
 from repro.sim.evaluate import DrivingCondition
 
 __all__ = [
@@ -52,6 +54,30 @@ class TableResult:
         return self.values[condition][column]
 
 
+def _assemble(
+    title: str,
+    columns: list[str],
+    specs: list[RunSpec],
+    context: ExperimentContext,
+    seed: int,
+    jobs: int,
+) -> TableResult:
+    """Train one spec per column (fanned out to ``jobs`` workers) and
+    online-evaluate each into one table."""
+    register_context(context)
+    results = run_specs(specs, jobs=jobs)
+    values: dict[str, dict[str, float]] = {cond: {} for cond in CONDITIONS}
+    receive_rates: dict[str, float] = {}
+    for column, result in zip(columns, results):
+        rates = online_evaluate(result, context, seed=seed)
+        receive_rates[column] = result.receive_rate
+        for cond in CONDITIONS:
+            values[cond][column] = rates[cond]
+    return TableResult(
+        title=title, columns=columns, values=values, receive_rates=receive_rates
+    )
+
+
 def success_table(
     title: str,
     methods: tuple[str, ...],
@@ -59,31 +85,32 @@ def success_table(
     wireless: bool,
     seed: int = 1,
     coreset_sizes: dict[str, int] | None = None,
+    jobs: int = 1,
 ) -> TableResult:
     """Train ``methods`` and online-evaluate each into one table.
 
     ``coreset_sizes`` optionally overrides the coreset size per column
-    label (Table IV).
+    label (Table IV); ``jobs`` fans the training runs out to worker
+    processes.
     """
-    values: dict[str, dict[str, float]] = {cond: {} for cond in CONDITIONS}
-    receive_rates: dict[str, float] = {}
+    specs = []
     for column in methods:
         method = column
         coreset_size = None
         if coreset_sizes and column in coreset_sizes:
             method = "LbChat"
             coreset_size = coreset_sizes[column]
-        result = run_method(
-            context, method, wireless=wireless, seed=seed, coreset_size=coreset_size
+        specs.append(
+            RunSpec.for_context(
+                context, method, wireless=wireless, seed=seed, coreset_size=coreset_size
+            )
         )
-        rates = online_evaluate(result, context, seed=seed)
-        receive_rates[column] = result.receive_rate
-        for cond in CONDITIONS:
-            values[cond][column] = rates[cond]
-    return TableResult(title=title, columns=list(methods), values=values, receive_rates=receive_rates)
+    return _assemble(title, list(methods), specs, context, seed, jobs)
 
 
-def table2(scale: ExperimentScale | str = "ci", seed: int = 1) -> TableResult:
+def table2(
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
+) -> TableResult:
     """Table II: success rate without wireless loss, all five methods."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
     context = build_context(scale)
@@ -93,10 +120,13 @@ def table2(scale: ExperimentScale | str = "ci", seed: int = 1) -> TableResult:
         context,
         wireless=False,
         seed=seed,
+        jobs=jobs,
     )
 
 
-def table3(scale: ExperimentScale | str = "ci", seed: int = 1) -> TableResult:
+def table3(
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
+) -> TableResult:
     """Table III: success rate with wireless loss, all five methods."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
     context = build_context(scale)
@@ -106,6 +136,7 @@ def table3(scale: ExperimentScale | str = "ci", seed: int = 1) -> TableResult:
         context,
         wireless=True,
         seed=seed,
+        jobs=jobs,
     )
 
 
@@ -113,6 +144,7 @@ def table4(
     scale: ExperimentScale | str = "ci",
     seed: int = 1,
     sizes: tuple[int, int] | None = None,
+    jobs: int = 1,
 ) -> TableResult:
     """Table IV: LbChat with 10x and 1/10x the default coreset size.
 
@@ -122,72 +154,70 @@ def table4(
     scale = get_scale(scale) if isinstance(scale, str) else scale
     context = build_context(scale)
     large, small = sizes or (scale.coreset_size * 10, max(scale.coreset_size // 10, 2))
-    values: dict[str, dict[str, float]] = {cond: {} for cond in CONDITIONS}
-    receive_rates: dict[str, float] = {}
     columns = [f"{large} (W/O)", f"{small} (W/O)", f"{large} (W)", f"{small} (W)"]
-    for column, size, wireless in (
-        (columns[0], large, False),
-        (columns[1], small, False),
-        (columns[2], large, True),
-        (columns[3], small, True),
-    ):
-        result = run_method(
+    specs = [
+        RunSpec.for_context(
             context, "LbChat", wireless=wireless, seed=seed, coreset_size=size
         )
-        rates = online_evaluate(result, context, seed=seed)
-        receive_rates[column] = result.receive_rate
-        for cond in CONDITIONS:
-            values[cond][column] = rates[cond]
-    return TableResult(
-        title="Table IV: success rate with different coreset sizes (%)",
-        columns=columns,
-        values=values,
-        receive_rates=receive_rates,
+        for size, wireless in ((large, False), (small, False), (large, True), (small, True))
+    ]
+    return _assemble(
+        "Table IV: success rate with different coreset sizes (%)",
+        columns,
+        specs,
+        context,
+        seed,
+        jobs,
     )
 
 
 def _ablation_table(
-    title: str, method: str, scale: ExperimentScale | str, seed: int
+    title: str, method: str, scale: ExperimentScale | str, seed: int, jobs: int = 1
 ) -> TableResult:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     context = build_context(scale)
-    values: dict[str, dict[str, float]] = {cond: {} for cond in CONDITIONS}
-    receive_rates: dict[str, float] = {}
     columns = ["W/O wireless loss", "W wireless loss"]
-    for column, wireless in zip(columns, (False, True)):
-        result = run_method(context, method, wireless=wireless, seed=seed)
-        rates = online_evaluate(result, context, seed=seed)
-        receive_rates[column] = result.receive_rate
-        for cond in CONDITIONS:
-            values[cond][column] = rates[cond]
-    return TableResult(title=title, columns=columns, values=values, receive_rates=receive_rates)
+    specs = [
+        RunSpec.for_context(context, method, wireless=wireless, seed=seed)
+        for wireless in (False, True)
+    ]
+    return _assemble(title, columns, specs, context, seed, jobs)
 
 
-def table5(scale: ExperimentScale | str = "ci", seed: int = 1) -> TableResult:
+def table5(
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
+) -> TableResult:
     """Table V: LbChat with equal compression ratios (Eq. 7 masked)."""
     return _ablation_table(
         "Table V: success rate with equal comp. ratio (%)",
         "LbChat (equal comp.)",
         scale,
         seed,
+        jobs,
     )
 
 
-def table6(scale: ExperimentScale | str = "ci", seed: int = 1) -> TableResult:
+def table6(
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
+) -> TableResult:
     """Table VI: LbChat with plain averaging (Eq. 8 masked)."""
     return _ablation_table(
         "Table VI: success rate with avg. aggregation (%)",
         "LbChat (avg. agg.)",
         scale,
         seed,
+        jobs,
     )
 
 
-def table7(scale: ExperimentScale | str = "ci", seed: int = 1) -> TableResult:
+def table7(
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
+) -> TableResult:
     """Table VII: sharing coresets only (SCO)."""
     return _ablation_table(
         "Table VII: success rate with sharing coreset only (%)",
         "SCO",
         scale,
         seed,
+        jobs,
     )

@@ -1,0 +1,29 @@
+"""Process-parallel experiment engine.
+
+Independent ``(method, seed, scale, wireless)`` runs are embarrassingly
+parallel: each re-derives every RNG stream from its own
+:class:`~repro.experiments.runner.RunSpec`, so fanning them out to
+worker processes cannot change any number.  :func:`run_specs` is the
+single entry point — the serial path (``jobs=1``) and the pool path run
+the same per-job code and return bit-identical results in job order::
+
+    from repro.experiments import RunSpec, build_context, get_scale
+    from repro.parallel import run_specs
+
+    context = build_context(get_scale("ci"))
+    specs = [RunSpec.for_context(context, "LbChat", seed=s) for s in (1, 2, 3)]
+    results = run_specs(specs, jobs=3)
+
+``scripts/parallel_smoke.py`` gates exactly this determinism claim.
+"""
+
+from repro.parallel.pool import ParallelConfig, resolve_jobs, run_specs
+from repro.parallel.worker import execute_spec, run_job
+
+__all__ = [
+    "ParallelConfig",
+    "resolve_jobs",
+    "run_specs",
+    "execute_spec",
+    "run_job",
+]

@@ -1,0 +1,142 @@
+"""Process-pool execution of independent experiment runs.
+
+:func:`run_specs` fans :class:`~repro.experiments.runner.RunSpec` jobs
+out to worker processes and collects results *in submission order*, so
+its output is bit-identical to running the same specs serially — every
+job re-derives its RNG streams from its own spec, and nothing mutable
+crosses process boundaries (see :mod:`repro.parallel.worker`).
+
+Failure policy, per job:
+
+1. the job is retried up to ``retries`` times in a (fresh, if broken)
+   pool — this absorbs flaky worker deaths and per-job timeouts;
+2. when retries are exhausted the job runs *serially in the parent*,
+   so a sick pool degrades to the serial path instead of losing work;
+3. an error in that final serial attempt is a real, reproducible
+   failure of the job itself and propagates to the caller.
+
+A per-job ``timeout`` (wall-clock seconds) counts as a failure: the
+pool is recycled so the retry gets a fresh worker (the abandoned worker
+finishes its stale task in the background and then exits).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import get_context
+
+from repro.parallel import worker
+
+__all__ = ["ParallelConfig", "resolve_jobs", "run_specs"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to fan runs out to processes.
+
+    ``jobs <= 0`` means "all available cores"; ``jobs == 1`` is the
+    serial path (no pool, no pickling).  ``start_method`` defaults to
+    the platform default ("fork" on Linux, which also lets workers
+    inherit already-built contexts).
+    """
+
+    jobs: int = 1
+    timeout: float | None = None
+    retries: int = 1
+    start_method: str | None = None
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a --jobs value: non-positive selects all cores."""
+    return jobs if jobs > 0 else (os.cpu_count() or 1)
+
+
+def _new_executor(config: ParallelConfig, n_jobs: int) -> ProcessPoolExecutor:
+    mp_context = get_context(config.start_method) if config.start_method else None
+    return ProcessPoolExecutor(max_workers=n_jobs, mp_context=mp_context)
+
+
+def run_specs(specs, jobs: int | ParallelConfig = 1, timeout: float | None = None,
+              retries: int = 1, start_method: str | None = None):
+    """Execute specs (serially or in a process pool) and return results in order.
+
+    ``jobs`` may be an int or a full :class:`ParallelConfig`.  With an
+    active telemetry session, worker registries are merged back into it
+    in job order; on the serial path hooks record into it directly.
+    """
+    from repro.telemetry import hooks
+
+    config = jobs if isinstance(jobs, ParallelConfig) else ParallelConfig(
+        jobs=jobs, timeout=timeout, retries=retries, start_method=start_method
+    )
+    specs = list(specs)
+    if not specs:
+        return []
+    session = hooks.active()
+    capture = session is not None
+    n_workers = min(resolve_jobs(config.jobs), len(specs))
+    if n_workers <= 1:
+        # Single run: record straight into the active session (keeps
+        # tracer spans — e.g. `repro trace`).  Several runs: use the same
+        # per-run capture-and-merge protocol as the pool, so the final
+        # registry is identical for every jobs value.
+        if not capture or len(specs) == 1:
+            return [worker.execute_spec(spec) for spec in specs]
+        results = []
+        for spec in specs:
+            result, state = worker.run_isolated(spec)
+            results.append(result)
+            session.registry.merge_state(state)
+        return results
+    n = len(specs)
+    results: list = [None] * n
+    states: list = [None] * n
+    attempts = [0] * n
+    executor = _new_executor(config, n_workers)
+    futures: dict[int, object] = {}
+
+    def submit(i: int) -> None:
+        futures[i] = executor.submit(worker.run_job, specs[i], capture)
+
+    def recycle() -> None:
+        """Replace a broken/stalled pool and resubmit every pending job."""
+        nonlocal executor
+        executor.shutdown(wait=False, cancel_futures=True)
+        executor = _new_executor(config, n_workers)
+        for j in list(futures):
+            submit(j)
+
+    try:
+        for i in range(n):
+            submit(i)
+        for i in range(n):  # ordered collection: job i's result lands in slot i
+            while True:
+                future = futures.pop(i)
+                try:
+                    results[i], states[i] = future.result(timeout=config.timeout)
+                    break
+                except Exception as exc:
+                    attempts[i] += 1
+                    if isinstance(exc, (BrokenProcessPool, TimeoutError)):
+                        recycle()  # job i is already popped; peers resubmit
+                    if attempts[i] <= config.retries:
+                        submit(i)
+                        continue
+                    # Retries exhausted: degrade to the serial path in the
+                    # parent so completed results are never thrown away.
+                    if capture:
+                        results[i], states[i] = worker.run_isolated(specs[i])
+                    else:
+                        results[i] = worker.execute_spec(specs[i])
+                    break
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    if capture:
+        for state in states:
+            if state is not None:
+                session.registry.merge_state(state)
+    return results

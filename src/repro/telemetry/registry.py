@@ -126,6 +126,44 @@ class MetricRegistry:
         completed.value = max(completed.value, float(recorder.completed))
         self.gauge(prefix + "rate").set(recorder.rate)
 
+    # -- cross-process merge -------------------------------------------------
+
+    def state(self) -> dict:
+        """Full transferable contents (histograms keep raw values).
+
+        Unlike :meth:`snapshot` (a human/JSON-facing summary), the state
+        is lossless: another registry can :meth:`merge_state` it and end
+        up observing everything this one observed.  Used to ship a
+        worker process's per-run registry back to the parent.
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: g.value
+                for n, g in sorted(self._gauges.items())
+                if not math.isnan(g.value)
+            },
+            "histograms": {
+                n: list(h.values) for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another registry's :meth:`state` into this one.
+
+        Counters add (the runs observed disjoint events), histogram
+        observations are concatenated, and gauges are last-write-wins —
+        call in job order for deterministic results.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in state.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(value)
+
     # -- output ------------------------------------------------------------
 
     def snapshot(self) -> dict:

@@ -6,32 +6,24 @@ import pytest
 from repro import cli
 
 
-class FakeTrainer:
-    class config:
-        duration = 100.0
-        lambda_c = 0.02
-        wireless_loss = True
-        seed = 1
+class FakeRecorder:  # mimics TimeSeriesRecorder surface
+    @staticmethod
+    def keys():
+        return ["v0"]
 
-    class loss_curve:  # noqa: N801 - mimics TimeSeriesRecorder surface
-        @staticmethod
-        def keys():
-            return ["v0"]
-
-        @staticmethod
-        def series(key):
-            return np.array([0.0, 100.0]), np.array([5.0, 1.0])
-
-    class counters:
-        @staticmethod
-        def as_dict():
-            return {"chats": 3.0}
+    @staticmethod
+    def series(key):
+        return np.array([0.0, 100.0]), np.array([5.0, 1.0])
 
 
 class FakeResult:
     method = "LbChat"
-    trainer = FakeTrainer()
+    duration = 100.0
+    wireless = True
+    seed = 1
     receive_rate = 0.8
+    counters = {"chats": 3.0}
+    loss_recorder = FakeRecorder()
 
     def __init__(self):
         from repro.nn import make_driving_model
@@ -46,18 +38,14 @@ class FakeResult:
         return grid, np.linspace(5.0, 1.0, n_points)
 
 
-class FakeContext:
-    pass
-
-
 def test_cmd_run_with_stubs(monkeypatch, capsys, tmp_path):
-    monkeypatch.setattr(
-        "repro.experiments.io.cached_context", lambda scale: FakeContext()
-    )
-    monkeypatch.setattr(
-        "repro.experiments.runner.run_method",
-        lambda context, method, wireless, seed, coreset_size: FakeResult(),
-    )
+    seen = {}
+
+    def fake_run_specs(specs, jobs=1, **kwargs):
+        seen["specs"], seen["jobs"] = list(specs), jobs
+        return [FakeResult() for _ in specs]
+
+    monkeypatch.setattr("repro.parallel.run_specs", fake_run_specs)
     out_json = tmp_path / "run.json"
     model_path = tmp_path / "model.npz"
     code = cli.main(
@@ -65,6 +53,8 @@ def test_cmd_run_with_stubs(monkeypatch, capsys, tmp_path):
             "run",
             "--method",
             "LbChat",
+            "--jobs",
+            "2",
             "--out",
             str(out_json),
             "--save-model",
@@ -74,6 +64,9 @@ def test_cmd_run_with_stubs(monkeypatch, capsys, tmp_path):
     assert code == 0
     assert out_json.exists()
     assert model_path.exists()
+    [spec] = seen["specs"]
+    assert spec.method == "LbChat" and spec.use_cache
+    assert seen["jobs"] == 2
     output = capsys.readouterr().out
     assert "receive rate: 80.0%" in output
 
@@ -81,7 +74,7 @@ def test_cmd_run_with_stubs(monkeypatch, capsys, tmp_path):
 def test_cmd_rates_with_stubs(monkeypatch, capsys):
     monkeypatch.setattr(
         "repro.experiments.figures.receive_rates",
-        lambda scale, seed: {"LbChat": 0.77, "DP": 0.47},
+        lambda scale, seed, jobs: {"LbChat": 0.77, "DP": 0.47},
     )
     assert cli.main(["rates"]) == 0
     output = capsys.readouterr().out
@@ -97,7 +90,7 @@ def test_cmd_fig_with_stubs(monkeypatch, capsys):
         curves={"LbChat": np.linspace(5, 1, 5)},
     )
     monkeypatch.setattr(
-        "repro.experiments.figures.fig2", lambda scale, wireless, seed: fake
+        "repro.experiments.figures.fig2", lambda scale, wireless, seed, jobs: fake
     )
     assert cli.main(["fig", "2b"]) == 0
     assert "Fig. 2(b)" in capsys.readouterr().out
@@ -112,8 +105,15 @@ def test_cmd_table_with_stubs(monkeypatch, capsys):
         values={cond: {"LbChat": 90.0} for cond in CONDITIONS},
         receive_rates={"LbChat": 0.8},
     )
-    monkeypatch.setattr("repro.experiments.tables.table3", lambda scale, seed: fake)
-    assert cli.main(["table", "3"]) == 0
+    seen = {}
+
+    def fake_table3(scale, seed, jobs):
+        seen["jobs"] = jobs
+        return fake
+
+    monkeypatch.setattr("repro.experiments.tables.table3", fake_table3)
+    assert cli.main(["table", "3", "--jobs", "4"]) == 0
+    assert seen["jobs"] == 4
     output = capsys.readouterr().out
     assert "Table III" in output
     assert "LbChat=80%" in output
@@ -122,7 +122,7 @@ def test_cmd_table_with_stubs(monkeypatch, capsys):
 def test_cmd_trace_with_stubs(monkeypatch, capsys, tmp_path):
     from repro.telemetry import hooks
 
-    def fake_run_method(context, method, wireless, seed):
+    def fake_run_specs(specs, jobs=1, **kwargs):
         # Mimic an instrumented run: the active session sees one chat.
         session = hooks.active()
         assert session is not None, "trace must activate a TelemetrySession"
@@ -130,12 +130,9 @@ def test_cmd_trace_with_stubs(monkeypatch, capsys, tmp_path):
         session.tracer.end_span(1.0)
         session.registry.counter("chat.count").inc()
         session.registry.counter("chat.completed").inc()
-        return FakeResult()
+        return [FakeResult() for _ in specs]
 
-    monkeypatch.setattr(
-        "repro.experiments.io.cached_context", lambda scale: FakeContext()
-    )
-    monkeypatch.setattr("repro.experiments.runner.run_method", fake_run_method)
+    monkeypatch.setattr("repro.parallel.run_specs", fake_run_specs)
     trace_path = tmp_path / "trace.jsonl"
     csv_path = tmp_path / "metrics.csv"
     code = cli.main(
@@ -150,6 +147,17 @@ def test_cmd_trace_with_stubs(monkeypatch, capsys, tmp_path):
     from repro.telemetry import hooks as hooks_after
 
     assert hooks_after.active() is None
+
+
+def test_run_and_trace_share_flags():
+    parser = cli.build_parser()
+    run_args = parser.parse_args(["run", "--no-wireless", "--seed", "7", "--jobs", "0"])
+    trace_args = parser.parse_args(["trace", "--no-wireless", "--seed", "7", "--jobs", "0"])
+    for args in (run_args, trace_args):
+        assert args.wireless is False
+        assert args.seed == 7
+        assert args.jobs == 0
+        assert args.cache is True
 
 
 def test_cmd_report_from_trace(tmp_path, capsys):

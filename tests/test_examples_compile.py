@@ -1,8 +1,10 @@
-"""Every example script must at least parse and import cleanly.
+"""Every example and CI script must at least parse and import cleanly.
 
 Full example runs take minutes; these tests catch bit-rot (renamed
 APIs, bad imports) cheaply by compiling each script and resolving its
-imports without executing ``main()``.
+imports without executing ``main()``.  The ``scripts/`` smoke gates
+(``trace_smoke.py``, ``parallel_smoke.py``) are covered too, so a
+refactor cannot silently break CI's gating scripts.
 """
 
 import ast
@@ -12,15 +14,17 @@ from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+REPO = Path(__file__).parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+SCRIPTS = sorted((REPO / "scripts").glob("*.py"))
 
 
-@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+@pytest.mark.parametrize("path", EXAMPLES + SCRIPTS, ids=lambda p: p.name)
 def test_example_compiles(path):
     py_compile.compile(str(path), doraise=True)
 
 
-@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+@pytest.mark.parametrize("path", EXAMPLES + SCRIPTS, ids=lambda p: p.name)
 def test_example_imports_resolve(path):
     """Every module an example imports must exist with the used names."""
     tree = ast.parse(path.read_text())

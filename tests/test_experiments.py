@@ -7,8 +7,10 @@ import pytest
 
 from repro.experiments import (
     METHOD_NAMES,
+    RunSpec,
     build_context,
     get_scale,
+    make_config,
     make_nodes,
     make_trainer,
     online_evaluate,
@@ -105,45 +107,81 @@ class TestRunner:
             make_trainer("FancyNet", nodes, context)
 
     def test_run_method_produces_curve(self, context):
-        result = run_method(context, "LbChat", wireless=False)
+        spec = RunSpec.for_context(context, "LbChat", wireless=False)
+        result = run_method(context, spec)
         grid, curve = result.loss_curve(5)
         assert len(grid) == len(curve) == 5
         assert curve[-1] < curve[0]
+        assert result.spec is spec
+        assert result.method == "LbChat" and result.wireless is False
+
+    def test_legacy_kwargs_deprecated_but_equivalent(self, context):
+        with pytest.warns(DeprecationWarning, match="RunSpec"):
+            legacy = run_method(context, "LbChat", wireless=False, seed=1)
+        modern = run_method(
+            context, RunSpec.for_context(context, "LbChat", wireless=False, seed=1)
+        )
+        assert np.array_equal(legacy.loss_curve(5)[1], modern.loss_curve(5)[1])
+        assert legacy.receive_attempted == modern.receive_attempted
+
+    def test_legacy_unknown_kwarg_rejected(self, context):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                run_method(context, "LbChat", bogus_flag=True)
+
+    def test_spec_rejects_extra_kwargs(self, context):
+        spec = RunSpec.for_context(context, "LbChat")
+        with pytest.raises(TypeError):
+            run_method(context, spec, wireless=False)
+
+    def test_run_spec_validates_method(self, context):
+        with pytest.raises(ValueError):
+            RunSpec.for_context(context, "FancyNet")
+
+    def test_make_config_validates_fields(self):
+        config = make_config("DP", lambda_c=0.2)
+        assert config.lambda_c == 0.2
+        with pytest.raises(ValueError):
+            make_config("FancyNet")
+        with pytest.raises(AttributeError, match="bogus"):
+            make_config("LbChat", bogus=1)
 
     def test_coreset_size_override(self, context):
-        result = run_method(context, "LbChat", wireless=False, coreset_size=4)
+        spec = RunSpec.for_context(context, "LbChat", wireless=False, coreset_size=4)
+        result = run_method(context, spec)
         for node in result.nodes:
             assert node.config.coreset_size == 4
 
     def test_trainer_overrides_applied(self, context):
-        result = run_method(
+        spec = RunSpec.for_context(
             context,
             "LbChat",
             wireless=False,
-            trainer_overrides={"lambda_c": 0.5, "time_budget": 10.0},
+            overrides={"lambda_c": 0.5, "time_budget": 10.0},
         )
+        result = run_method(context, spec)
         assert result.trainer.config.lambda_c == 0.5
         assert result.trainer.config.time_budget == 10.0
 
     def test_trainer_overrides_unknown_field_rejected(self, context):
-        from repro.experiments.runner import make_nodes, make_trainer
-
+        spec = RunSpec.for_context(
+            context, "LbChat", wireless=False, overrides={"bogus": 1}
+        )
         with pytest.raises(AttributeError):
-            run_method(
-                context, "LbChat", wireless=False, trainer_overrides={"bogus": 1}
-            )
+            run_method(context, spec)
 
     def test_coreset_strategy_override(self, context):
-        result = run_method(
+        spec = RunSpec.for_context(
             context, "SCO", wireless=False, coreset_strategy="uniform"
         )
+        result = run_method(context, spec)
         for node in result.nodes:
             assert node.config.coreset_strategy == "uniform"
 
     def test_online_evaluate_shape(self, context):
         from repro.sim.evaluate import DrivingCondition
 
-        result = run_method(context, "SCO", wireless=False)
+        result = run_method(context, RunSpec.for_context(context, "SCO", wireless=False))
         rates = online_evaluate(
             result, context, conditions=[DrivingCondition.STRAIGHT]
         )
@@ -153,7 +191,7 @@ class TestRunner:
     def test_select_eval_nodes_median(self, context):
         from repro.experiments.runner import select_eval_nodes
 
-        result = run_method(context, "SCO", wireless=False)
+        result = run_method(context, RunSpec.for_context(context, "SCO", wireless=False))
         chosen = select_eval_nodes(result, context)
         assert len(chosen) == context.scale.eval_models
         losses = sorted(

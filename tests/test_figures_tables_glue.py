@@ -1,8 +1,8 @@
-"""Glue tests for figures/tables harness with run_method stubbed out.
+"""Glue tests for figures/tables harness with run_specs stubbed out.
 
 The real training paths are covered by the benchmark suite; these tests
-pin the orchestration logic (which methods get trained, with which
-flags, and how results are assembled) without any training cost.
+pin the orchestration logic (which specs get built, with which flags,
+and how results are assembled) without any training cost.
 """
 
 import numpy as np
@@ -12,22 +12,9 @@ from repro.experiments import figures, tables
 from repro.experiments.configs import CI
 
 
-class FakeTrainer:
-    class config:
-        duration = CI.train_duration
-
-    def __init__(self):
-        from repro.engine import TimeSeriesRecorder
-
-        self.loss_curve = TimeSeriesRecorder()
-        self.loss_curve.record("v0", 0.0, 5.0)
-        self.loss_curve.record("v0", CI.train_duration, 1.0)
-
-
 class FakeResult:
     def __init__(self, method):
         self.method = method
-        self.trainer = FakeTrainer()
         self.receive_rate = 0.75
         self.nodes = []
 
@@ -36,40 +23,55 @@ class FakeResult:
         return grid, np.linspace(5.0, 1.0, n_points)
 
 
+class Recorder:
+    """What the patched run_specs saw: every spec, and each call's jobs."""
+
+    def __init__(self):
+        self.specs = []
+        self.jobs = []
+
+    @property
+    def methods(self):
+        return [spec.method for spec in self.specs]
+
+
 @pytest.fixture()
 def record_calls(monkeypatch):
-    calls = []
+    recorder = Recorder()
+
+    class FakeContext:
+        scale = CI
 
     def fake_build_context(scale):
-        return object()
+        return FakeContext()
 
-    def fake_run_method(context, method, wireless=True, seed=1, **kwargs):
-        calls.append((method, wireless, kwargs))
-        return FakeResult(method)
+    def fake_run_specs(specs, jobs=1, **kwargs):
+        recorder.specs.extend(specs)
+        recorder.jobs.append(jobs)
+        return [FakeResult(spec.method) for spec in specs]
 
     for module in (figures, tables):
         monkeypatch.setattr(module, "build_context", fake_build_context)
-        monkeypatch.setattr(module, "run_method", fake_run_method)
+        monkeypatch.setattr(module, "register_context", lambda context: None)
+        monkeypatch.setattr(module, "run_specs", fake_run_specs)
     monkeypatch.setattr(
         tables,
         "online_evaluate",
         lambda result, context, seed=1: {c: 90.0 for c in tables.CONDITIONS},
     )
-    return calls
+    return recorder
 
 
 class TestFigGlue:
     def test_fig2_trains_all_five(self, record_calls):
         result = figures.fig2("ci", wireless=True)
-        methods = [m for m, _, _ in record_calls]
-        assert methods == list(figures.FIG2_METHODS)
-        assert all(w for _, w, _ in record_calls)
+        assert record_calls.methods == list(figures.FIG2_METHODS)
+        assert all(spec.wireless for spec in record_calls.specs)
         assert set(result.curves) == set(figures.FIG2_METHODS)
 
     def test_fig3_trains_lbchat_and_sco(self, record_calls):
         result = figures.fig3("ci")
-        methods = [m for m, _, _ in record_calls]
-        assert methods == ["LbChat", "SCO"]
+        assert record_calls.methods == ["LbChat", "SCO"]
         assert result.final("LbChat") == pytest.approx(1.0)
 
     def test_receive_rates_all_methods(self, record_calls):
@@ -77,34 +79,43 @@ class TestFigGlue:
         assert set(rates) == set(figures.FIG2_METHODS)
         assert all(rate == 0.75 for rate in rates.values())
 
+    def test_jobs_forwarded(self, record_calls):
+        figures.fig2("ci", jobs=3)
+        assert record_calls.jobs == [3]
+
 
 class TestTableGlue:
     def test_table2_no_wireless(self, record_calls):
         result = tables.table2("ci")
-        assert all(not w for _, w, _ in record_calls)
+        assert all(not spec.wireless for spec in record_calls.specs)
         assert result.columns == list(tables.MAIN_METHODS)
         assert result.cell("Straight", "LbChat") == 90.0
 
     def test_table3_wireless(self, record_calls):
         tables.table3("ci")
-        assert all(w for _, w, _ in record_calls)
+        assert all(spec.wireless for spec in record_calls.specs)
 
     def test_table4_coreset_sizes(self, record_calls):
         result = tables.table4("ci")
-        sizes = [k.get("coreset_size") for _, _, k in record_calls]
+        sizes = [spec.coreset_size for spec in record_calls.specs]
         large, small = CI.coreset_size * 10, max(CI.coreset_size // 10, 2)
         assert sorted(set(sizes)) == sorted({large, small})
+        assert all(spec.method == "LbChat" for spec in record_calls.specs)
         assert len(result.columns) == 4
 
     def test_table5_uses_equal_comp_variant(self, record_calls):
         tables.table5("ci")
-        assert all(m == "LbChat (equal comp.)" for m, _, _ in record_calls)
+        assert all(m == "LbChat (equal comp.)" for m in record_calls.methods)
 
     def test_table6_uses_avg_agg_variant(self, record_calls):
         tables.table6("ci")
-        assert all(m == "LbChat (avg. agg.)" for m, _, _ in record_calls)
+        assert all(m == "LbChat (avg. agg.)" for m in record_calls.methods)
 
     def test_table7_uses_sco(self, record_calls):
         result = tables.table7("ci")
-        assert all(m == "SCO" for m, _, _ in record_calls)
+        assert all(m == "SCO" for m in record_calls.methods)
         assert "coreset only" in result.title
+
+    def test_jobs_forwarded(self, record_calls):
+        tables.table2("ci", jobs=4)
+        assert record_calls.jobs == [4]

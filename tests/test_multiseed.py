@@ -3,10 +3,12 @@
 import numpy as np
 import pytest
 
+from repro.experiments import multiseed
 from repro.experiments.multiseed import (
     SeedSummary,
     aggregate_tables,
     compare_methods,
+    run_seeds,
 )
 
 
@@ -36,6 +38,55 @@ class TestSeedSummary:
     def test_describe_mentions_method(self):
         text = make_summary("LbChat", [1.0, 1.2]).describe()
         assert "LbChat" in text and "±" in text
+
+
+class FakeRunResult:
+    """Stands in for RunResult; duration controls the loss-curve grid."""
+
+    def __init__(self, duration):
+        self.duration = duration
+        self.receive_rate = 0.8
+
+    def loss_curve(self, n_points=21):
+        grid = np.linspace(0.0, self.duration, n_points)
+        return grid, np.linspace(5.0, 1.0, n_points)
+
+
+class FakeContext:
+    class scale:
+        name = "fake"
+
+
+class TestRunSeeds:
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            run_seeds(FakeContext(), "LbChat", seeds=[])
+
+    def test_mismatched_grids_rejected(self, monkeypatch):
+        # Regression: seeds whose runs disagree on duration used to be
+        # stacked silently onto the first seed's grid.
+        monkeypatch.setattr(
+            multiseed,
+            "run_specs",
+            lambda specs, jobs=1: [
+                FakeRunResult(duration=100.0 + 50.0 * i)
+                for i, _ in enumerate(specs)
+            ],
+        )
+        monkeypatch.setattr(multiseed, "register_context", lambda context: None)
+        with pytest.raises(ValueError, match="different time grid"):
+            run_seeds(FakeContext(), "LbChat", seeds=[1, 2])
+
+    def test_matching_grids_stack(self, monkeypatch):
+        monkeypatch.setattr(
+            multiseed,
+            "run_specs",
+            lambda specs, jobs=1: [FakeRunResult(duration=100.0) for _ in specs],
+        )
+        monkeypatch.setattr(multiseed, "register_context", lambda context: None)
+        summary = run_seeds(FakeContext(), "LbChat", seeds=[1, 2], n_points=7)
+        assert summary.curves.shape == (2, 7)
+        assert summary.grid[-1] == 100.0
 
 
 class TestCompareMethods:

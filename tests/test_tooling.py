@@ -57,8 +57,9 @@ class TestModelCheckpoints:
 class TestRunArchives:
     def test_save_and_load(self, tmp_path, fleet_datasets, traces):
         from repro.core.lbchat import LbChatConfig, LbChatTrainer
+        from repro.experiments.configs import CI
         from repro.experiments.io import load_run, save_run
-        from repro.experiments.runner import RunResult
+        from repro.experiments.runner import RunResult, RunSpec
         from repro.sim.dataset import DrivingDataset
         from tests.conftest import make_node
 
@@ -76,7 +77,8 @@ class TestRunArchives:
             LbChatConfig(duration=60.0, train_interval=3.0, record_interval=20.0, seed=1),
         )
         trainer.run()
-        result = RunResult("LbChat", trainer, nodes)
+        spec = RunSpec(method="LbChat", scale=CI, seed=1)
+        result = RunResult.from_trainer(spec, trainer, nodes)
         path = tmp_path / "run.json"
         save_run(result, path, n_points=9)
         payload = load_run(path)
