@@ -34,6 +34,48 @@ def dataset():
     return DrivingDataset(frames)
 
 
+@pytest.fixture(scope="module")
+def node(dataset):
+    from repro.core.node import NodeConfig, VehicleNode
+    from repro.engine.random import spawn_rng
+    from repro.nn import make_driving_model
+
+    model = make_driving_model((5, 12, 12), 5, hidden=48, seed=0)
+    config = NodeConfig(coreset_size=50, learning_rate=1e-3)
+    return VehicleNode("bench", model, dataset.copy(), config, spawn_rng(7, "bench"))
+
+
+def test_dataset_arrays_speed(benchmark, dataset):
+    """The per-train-step array access — pre-rewrite this re-stacked
+    every BEV tensor from a Python list on every call."""
+    bev, commands, targets, weights = benchmark(dataset.arrays)
+    assert bev.shape == (len(dataset), 5, 12, 12)
+    assert not bev.flags.writeable
+
+
+def test_sample_batch_speed(benchmark, dataset):
+    rng = np.random.default_rng(3)
+    bev, commands, targets, idx = benchmark(
+        lambda: dataset.sample_batch(64, rng, balance_commands=True)
+    )
+    assert bev.shape[0] == 64
+
+
+def test_per_sample_losses_warm_speed(benchmark, node):
+    """Fully-cached evaluation — two fancy-indexing ops, no dict walk."""
+    node.per_sample_losses(node.dataset)  # populate the cache
+    losses = benchmark(lambda: node.per_sample_losses(node.dataset))
+    assert losses.shape == (len(node.dataset),)
+
+
+def test_psi_map_speed(benchmark, node):
+    """Eq. 7 map fit: one shared magnitude ordering sliced per psi."""
+    from repro.core.psi import DEFAULT_PSI_GRID
+
+    psi_map = benchmark(node.build_psi_map)
+    assert len(psi_map.psis) == len(DEFAULT_PSI_GRID)
+
+
 def test_coreset_construction_speed(benchmark, dataset):
     rng = np.random.default_rng(1)
     losses = np.abs(np.random.default_rng(2).normal(size=len(dataset))) + 0.01

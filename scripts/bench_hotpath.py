@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Time the data-layer/evaluation hot path and emit a JSON report.
+
+Run once on the pre-rewrite tree and once after, then merge the two
+phases into ``BENCH_hotpath.json`` (the repo-root artifact tracked by
+ISSUE 4):
+
+    PYTHONPATH=src python scripts/bench_hotpath.py --label before --out /tmp/before.json
+    PYTHONPATH=src python scripts/bench_hotpath.py --label after  --out /tmp/after.json
+    PYTHONPATH=src python scripts/bench_hotpath.py --merge /tmp/before.json /tmp/after.json \
+        --out BENCH_hotpath.json
+
+Component benchmarks use the 500-frame dataset the acceptance criteria
+name; the end-to-end benchmarks run ``run_method`` (what ``repro run``
+executes after context building) on the hotpath-smoke world and on the
+paper world (32 vehicles, 1 km map) with a shortened training horizon
+so a single timing run stays tractable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+N_FRAMES = 500
+BEV_SHAPE = (5, 12, 12)
+N_WAYPOINTS = 5
+
+
+def _time(fn, repeat: int, warmup: int = 2) -> float:
+    """Best-of-``repeat`` wall-clock seconds for one call of ``fn``."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def make_dataset():
+    from repro.sim.dataset import DrivingDataset, Frame
+
+    rng = np.random.default_rng(0)
+    frames = [
+        Frame(
+            f"f{i}",
+            rng.normal(size=BEV_SHAPE).astype(np.float32),
+            int(rng.integers(0, 4)),
+            rng.normal(size=2 * N_WAYPOINTS).astype(np.float32),
+            float(rng.uniform(0.5, 2.0)),
+        )
+        for i in range(N_FRAMES)
+    ]
+    return DrivingDataset(frames)
+
+
+def make_node(dataset):
+    from repro.core.node import NodeConfig, VehicleNode
+    from repro.engine.random import spawn_rng
+    from repro.nn import make_driving_model
+    from repro.sim.dataset import DrivingDataset
+
+    model = make_driving_model(BEV_SHAPE, N_WAYPOINTS, hidden=48, seed=0)
+    config = NodeConfig(coreset_size=50, learning_rate=1e-3)
+    return VehicleNode(
+        "bench", model, DrivingDataset(dataset.frames()), config, spawn_rng(7, "bench")
+    )
+
+
+def bench_components() -> dict[str, float]:
+    dataset = make_dataset()
+    rng = np.random.default_rng(1)
+    out: dict[str, float] = {}
+
+    out["dataset_arrays_s"] = _time(lambda: dataset.arrays(), repeat=50)
+    out["sample_batch_s"] = _time(
+        lambda: dataset.sample_batch(64, rng, balance_commands=True), repeat=50
+    )
+    out["command_counts_s"] = _time(lambda: dataset.command_counts(), repeat=200)
+    out["total_weight_s"] = _time(lambda: dataset.total_weight(), repeat=200)
+    out["subset_100_s"] = _time(lambda: dataset.subset(range(100)), repeat=50)
+    out["with_weights_s"] = _time(
+        lambda: dataset.with_weights(np.ones(len(dataset))), repeat=50
+    )
+
+    node = make_node(dataset)
+    node.per_sample_losses(node.dataset)  # warm the cache
+    out["per_sample_losses_warm_s"] = _time(
+        lambda: node.per_sample_losses(node.dataset), repeat=50
+    )
+
+    def cold_losses():
+        node.model_version += 1  # invalidate every cache entry
+        node.per_sample_losses(node.dataset)
+
+    out["per_sample_losses_cold_s"] = _time(cold_losses, repeat=20)
+    out["evaluate_s"] = _time(lambda: node.evaluate(node.dataset), repeat=50)
+    out["psi_map_s"] = _time(lambda: node.build_psi_map(), repeat=10)
+    return out
+
+
+def bench_end_to_end(which: str) -> dict[str, float]:
+    from repro.experiments.runner import RunSpec, build_context, run_method
+
+    out: dict[str, float] = {}
+    if which in ("smoke", "both"):
+        sys.path.insert(0, str(Path(__file__).parent))
+        from hotpath_smoke import build_scale
+
+        context = build_context(build_scale())
+        spec = RunSpec.for_context(context, "LbChat", wireless=True, seed=3)
+        t0 = time.perf_counter()
+        run_method(context, spec)
+        out["run_lbchat_smoke_s"] = time.perf_counter() - t0
+    if which in ("paper", "both"):
+        from dataclasses import replace
+
+        from repro.experiments.configs import PAPER
+
+        # The paper world (32 vehicles, 1 km map, 150-sample coresets)
+        # with a shortened training horizon: the data-layer cost per
+        # simulated second is what we are measuring, not convergence.
+        scale = replace(
+            PAPER,
+            name="paper-e2e-bench",
+            collect_duration=120.0,
+            trace_duration=400.0,
+            train_duration=300.0,
+        )
+        t0 = time.perf_counter()
+        context = build_context(scale)
+        out["paper_context_build_s"] = time.perf_counter() - t0
+        spec = RunSpec.for_context(context, "LbChat", wireless=True, seed=3)
+        t0 = time.perf_counter()
+        run_method(context, spec)
+        out["run_lbchat_paper_world_s"] = time.perf_counter() - t0
+    return out
+
+
+def merge(before_path: str, after_path: str) -> dict:
+    before = json.loads(Path(before_path).read_text())
+    after = json.loads(Path(after_path).read_text())
+    report = {
+        "description": (
+            "Data-layer/evaluation hot-path timings before and after the "
+            "array-native DrivingDataset storage rewrite (ISSUE 4). "
+            "Component benchmarks use a 500-frame dataset; end-to-end "
+            "benchmarks run run_method('LbChat') on the hotpath-smoke "
+            "world and on the paper world (32 vehicles, 1 km map, "
+            "150-sample coresets) with a shortened training horizon."
+        ),
+        "before": before["timings"],
+        "after": after["timings"],
+        "speedup": {},
+    }
+    for key in sorted(set(before["timings"]) & set(after["timings"])):
+        old, new = before["timings"][key], after["timings"][key]
+        if new > 0:
+            report["speedup"][key] = round(old / new, 2)
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="run")
+    parser.add_argument("--out", required=True)
+    parser.add_argument(
+        "--e2e", default="smoke", choices=("none", "smoke", "paper", "both")
+    )
+    parser.add_argument("--merge", nargs=2, metavar=("BEFORE", "AFTER"))
+    args = parser.parse_args()
+
+    if args.merge:
+        report = merge(*args.merge)
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report["speedup"], indent=2))
+        return 0
+
+    timings = bench_components()
+    if args.e2e != "none":
+        timings.update(bench_end_to_end(args.e2e))
+    payload = {"label": args.label, "timings": timings}
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""CI smoke test: the data-layer hot path is bit-identical to the golden run.
+
+Runs a miniature seeded experiment (three methods that together cover
+every hot code path: LbChat exercises coresets + psi maps + Eq. 8,
+SCO the coreset-only path, DP the subset-evaluation path), digests the
+results and the telemetry registry, and compares the digests against
+the checked-in golden file recorded *before* the array-native storage
+rewrite.  Any divergence in sampling order, weight arithmetic, loss
+caching, or top-k selection changes a digest and fails the gate:
+
+    PYTHONPATH=src python scripts/hotpath_smoke.py            # verify
+    PYTHONPATH=src python scripts/hotpath_smoke.py --record   # re-baseline
+
+Sits next to ``parallel_smoke.py`` (which gates pool-vs-serial
+determinism); this script gates storage-rewrite determinism.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_PATH = Path(__file__).parent / "hotpath_golden.json"
+
+#: Methods whose runs are digested; chosen to cover all hot paths.
+METHODS = ("LbChat", "SCO", "DP")
+SEED = 3
+CURVE_POINTS = 9
+
+
+def build_scale():
+    from repro.experiments.configs import CI
+    from repro.sim.world import WorldConfig
+
+    return replace(
+        CI,
+        name="hotpath-smoke",
+        world=WorldConfig(
+            map_size=400.0,
+            grid_n=3,
+            n_vehicles=3,
+            n_background_cars=2,
+            n_pedestrians=5,
+            seed=13,
+            min_route_length=120.0,
+        ),
+        collect_duration=30.0,
+        trace_duration=120.0,
+        train_duration=40.0,
+        train_interval=2.0,
+        record_interval=10.0,
+        coreset_size=6,
+    )
+
+
+def _sha(*chunks: bytes) -> str:
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk)
+    return h.hexdigest()
+
+
+def digest_result(result) -> dict[str, str]:
+    """Componentwise digests of one RunResult (localizes any mismatch)."""
+    _, curve = result.loss_curve(CURVE_POINTS)
+    counters = json.dumps(sorted(result.counters.items()), sort_keys=True)
+    params = b"".join(
+        np.ascontiguousarray(node.flat_params, dtype=np.float32).tobytes()
+        for node in result.nodes
+    )
+    dataset_state = json.dumps(
+        [
+            [node.dataset.ids, node.dataset.weights.tolist()]
+            for node in result.nodes
+        ]
+    )
+    coreset_state = json.dumps(
+        [
+            [node.coreset.data.ids, node.coreset.data.weights.tolist()]
+            for node in result.nodes
+        ]
+    )
+    return {
+        "loss_curve": _sha(np.ascontiguousarray(curve, dtype=np.float64).tobytes()),
+        "receive": f"{result.receive_completed}/{result.receive_attempted}",
+        "counters": _sha(counters.encode()),
+        "params": _sha(params),
+        "datasets": _sha(dataset_state.encode()),
+        "coresets": _sha(coreset_state.encode()),
+    }
+
+
+def digest_registry(session) -> str:
+    state = session.registry.state()
+    payload = json.dumps(
+        {kind: state[kind] for kind in ("counters", "gauges", "histograms")},
+        sort_keys=True,
+        default=repr,
+    )
+    return _sha(payload.encode())
+
+
+def run_and_digest() -> dict:
+    from repro.experiments.runner import RunSpec, build_context, run_method
+    from repro.telemetry import TelemetrySession
+
+    scale = build_scale()
+    print("building mini world...")
+    context = build_context(scale)
+    digests: dict = {}
+    session = TelemetrySession(label="hotpath smoke")
+    with session:
+        for method in METHODS:
+            print(f"running {method} seed={SEED}...")
+            spec = RunSpec.for_context(context, method, wireless=True, seed=SEED)
+            digests[method] = digest_result(run_method(context, spec))
+    digests["telemetry"] = digest_registry(session)
+    return digests
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="overwrite the golden digest file with this run's digests",
+    )
+    args = parser.parse_args()
+
+    digests = run_and_digest()
+
+    if args.record:
+        GOLDEN_PATH.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+        print(f"golden digests recorded to {GOLDEN_PATH}")
+        return 0
+
+    if not GOLDEN_PATH.exists():
+        print(f"no golden file at {GOLDEN_PATH}; run with --record first")
+        return 1
+    golden = json.loads(GOLDEN_PATH.read_text())
+
+    failures: list[str] = []
+
+    def check(key: str, got, want) -> None:
+        ok = got == want
+        print(f"  [{'ok' if ok else 'FAIL'}] {key}")
+        if not ok:
+            failures.append(f"{key}: got {got!r}, want {want!r}")
+
+    for method in METHODS:
+        for key in sorted(golden.get(method, digests[method])):
+            check(f"{method}: {key}", digests[method][key], golden[method][key])
+    check("telemetry registry", digests["telemetry"], golden["telemetry"])
+
+    if failures:
+        print(f"\nSMOKE FAILED: {len(failures)} digest mismatch(es):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nsmoke OK: results bit-identical to the golden run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

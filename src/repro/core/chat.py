@@ -25,7 +25,6 @@ from repro.core.psi import PsiDecision, optimize_compression
 from repro.core.value import assess_value
 from repro.net.channel import ChannelConfig, simulate_transfer
 from repro.net.wireless import WirelessModel
-from repro.sim.dataset import DrivingDataset
 from repro.telemetry import hooks as telemetry
 
 __all__ = ["ChatOutcome", "pairwise_chat"]
@@ -218,8 +217,8 @@ def _pairwise_chat_impl(
     outcome.psi = decision
 
     # 5. model exchange: x_i to j, then x_j to i, on the shared channel.
-    joint = DrivingDataset(node_i.coreset.data.frames())
-    joint.extend(node_j.coreset.data.frames())
+    joint = node_i.coreset.data.copy()
+    joint.absorb_from(node_j.coreset.data)
     model_deadline = min(contact_deadline, now + time_budget)
     if decision.psi_i > 0:
         compressed_i = node_i.compress_model(decision.psi_i)

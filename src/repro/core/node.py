@@ -24,10 +24,22 @@ from repro.coreset import (
 )
 from repro.nn import Adam, waypoint_l1
 from repro.nn.params import get_flat_params, set_flat_params
-from repro.sim.dataset import DrivingDataset, Frame
+from repro.sim.dataset import DrivingDataset
 from repro.telemetry import hooks as telemetry
 
 __all__ = ["NodeConfig", "VehicleNode"]
+
+#: Cache-miss evaluations run through the model in batches of at most
+#: this many frames — a memory guard for very large datasets.  Kept
+#: large so realistic miss sets still evaluate in a single forward,
+#: exactly like the pre-vectorization code (batch composition affects
+#: BLAS accumulation order, and bit-identity with recorded goldens
+#: depends on it).
+_EVAL_CHUNK = 8192
+
+#: Slot-vector memos kept per node before the memo table is reset
+#: (short-lived subset datasets would otherwise accumulate entries).
+_MAX_SLOT_MEMOS = 64
 
 
 @dataclass(frozen=True)
@@ -86,7 +98,15 @@ class VehicleNode:
         )
         self.model_version = 0
         self.train_steps = 0
-        self._loss_cache: dict[str, tuple[int, float]] = {}
+        # Loss cache, vectorized: frame ids map to slots in flat
+        # version/value arrays, so lookups over a whole dataset are two
+        # fancy-indexing operations instead of a per-frame dict walk.
+        self._cache_slots: dict[str, int] = {}
+        self._cache_versions = np.full(64, -1, dtype=np.int64)
+        self._cache_values = np.zeros(64)
+        self._cache_epoch = 0
+        #: dataset uid -> (generation, epoch, id→slot vector) memo.
+        self._slot_memo: dict[int, tuple[int, int, np.ndarray]] = {}
         self._steps_since_refresh = 0
         self.coreset: Coreset = self.refresh_coreset()
 
@@ -111,35 +131,110 @@ class VehicleNode:
 
     # -- evaluation ------------------------------------------------------------
 
+    def _slots_for(self, dataset: DrivingDataset) -> np.ndarray:
+        """Cache-slot row per frame of ``dataset`` (memoized per generation).
+
+        New frame ids are assigned slots on first sight; the resulting
+        vector is reused until the dataset mutates or the cache is
+        compacted, so the per-id dict walk happens once per dataset
+        generation instead of once per evaluation.
+        """
+        memo = self._slot_memo.get(dataset.uid)
+        if (
+            memo is not None
+            and memo[0] == dataset.generation
+            and memo[1] == self._cache_epoch
+        ):
+            return memo[2]
+        ids = dataset.ids
+        slots = np.empty(len(ids), dtype=np.intp)
+        cache_slots = self._cache_slots
+        for i, frame_id in enumerate(ids):
+            slot = cache_slots.get(frame_id)
+            if slot is None:
+                slot = len(cache_slots)
+                if slot >= self._cache_versions.size:
+                    grown = max(2 * self._cache_versions.size, slot + 1)
+                    versions = np.full(grown, -1, dtype=np.int64)
+                    versions[: self._cache_versions.size] = self._cache_versions
+                    values = np.zeros(grown)
+                    values[: self._cache_values.size] = self._cache_values
+                    self._cache_versions, self._cache_values = versions, values
+                cache_slots[frame_id] = slot
+            slots[i] = slot
+        if len(self._slot_memo) >= _MAX_SLOT_MEMOS:
+            self._slot_memo.clear()
+        self._slot_memo[dataset.uid] = (dataset.generation, self._cache_epoch, slots)
+        return slots
+
+    def _evict_stale_losses(self) -> None:
+        """Drop cache entries from superseded model versions.
+
+        Provably behaviour-neutral: ``model_version`` only increases, so
+        a stale entry can never produce a cache hit again — it would
+        only sit in memory.  Compacting on refresh bounds the cache by
+        the number of frames evaluated at the current version, fixing
+        the unbounded growth the per-id dict suffered as frames churned
+        through merged/reduced coresets and validation evaluations.
+        """
+        used = len(self._cache_slots)
+        live = self._cache_versions[:used] == self.model_version
+        if bool(live.all()):
+            return
+        remap = np.cumsum(live) - 1  # old slot -> new slot (where live)
+        self._cache_slots = {
+            frame_id: int(remap[slot])
+            for frame_id, slot in self._cache_slots.items()
+            if live[slot]
+        }
+        n_live = len(self._cache_slots)
+        capacity = max(64, n_live)
+        versions = np.full(capacity, -1, dtype=np.int64)
+        values = np.zeros(capacity)
+        versions[:n_live] = self._cache_versions[:used][live]
+        values[:n_live] = self._cache_values[:used][live]
+        self._cache_versions, self._cache_values = versions, values
+        self._cache_epoch += 1  # invalidate memoized slot vectors
+        self._slot_memo.clear()
+
+    @property
+    def loss_cache_size(self) -> int:
+        """Number of frames with a (possibly stale) cached loss."""
+        return len(self._cache_slots)
+
     def per_sample_losses(self, dataset: DrivingDataset) -> np.ndarray:
         """Per-sample waypoint losses of the current model on ``dataset``.
 
         Cached by (model version, frame id): Eq. 8 and Algorithm 1 reuse
         losses heavily, and the paper calls out caching them (§III-D).
+        Lookups are vectorized over slot arrays; misses are evaluated in
+        chunked batched forwards and written back in bulk.
         """
-        missing_idx = []
-        losses = np.zeros(len(dataset))
-        ids = dataset.ids
-        for i, frame_id in enumerate(ids):
-            cached = self._loss_cache.get(frame_id)
-            if cached is not None and cached[0] == self.model_version:
-                losses[i] = cached[1]
-            else:
-                missing_idx.append(i)
-        if missing_idx:
-            subset = dataset.subset(missing_idx)
-            bev, commands, targets, _ = subset.arrays()
-            pred = self.model.forward(bev, commands)
-            _, per_sample, _ = waypoint_l1(pred, targets)
-            for j, i in enumerate(missing_idx):
-                losses[i] = per_sample[j]
-                self._loss_cache[ids[i]] = (self.model_version, float(per_sample[j]))
+        n = len(dataset)
+        losses = np.zeros(n)
+        if n == 0:
+            return losses
+        slots = self._slots_for(dataset)
+        hit = self._cache_versions[slots] == self.model_version
+        if hit.any():
+            losses[hit] = self._cache_values[slots[hit]]
+        miss = np.flatnonzero(~hit)
+        if miss.size:
+            bev, commands, targets, _ = dataset.arrays()
+            for start in range(0, miss.size, _EVAL_CHUNK):
+                chunk = miss[start : start + _EVAL_CHUNK]
+                pred = self.model.forward(bev[chunk], commands[chunk])
+                _, per_sample, _ = waypoint_l1(pred, targets[chunk])
+                losses[chunk] = per_sample
+                chunk_slots = slots[chunk]
+                self._cache_values[chunk_slots] = losses[chunk]
+                self._cache_versions[chunk_slots] = self.model_version
         return losses
 
     def evaluate(self, dataset: DrivingDataset, with_penalty: bool = True) -> float:
         """Weighted loss of the current model on ``dataset`` (Eq. 6)."""
         losses = self.per_sample_losses(dataset)
-        _, commands, _, weights = dataset.arrays()
+        _, commands, _, weights = dataset.arrays()  # cached views, no re-stack
         if with_penalty and self.config.penalty.enabled:
             return penalized_loss(self.model, losses, commands, weights, self.config.penalty)
         total = weights.sum()
@@ -173,6 +268,7 @@ class VehicleNode:
             self.rng,
         )
         self._steps_since_refresh = 0
+        self._evict_stale_losses()
         telemetry.on_coreset_refresh(self.node_id, len(self.coreset))
         return self.coreset
 
@@ -189,13 +285,7 @@ class VehicleNode:
         Afterwards the own coreset is updated — by merge-and-reduce when
         configured, else it will be rebuilt on the next refresh.
         """
-        before = len(self.dataset)
-        frames = [
-            Frame(f.frame_id, f.bev, f.command, f.waypoints, 1.0)
-            for f in received.data.frames()
-        ]
-        self.dataset.extend(frames)
-        added = len(self.dataset) - before
+        added = self.dataset.absorb_from(received.data, weight=1.0)
         if added and self.config.use_merge_reduce:
             merged = merge_coresets(self.coreset, received)
             losses = self.per_sample_losses(merged.data)
@@ -208,13 +298,23 @@ class VehicleNode:
     # -- model exchange ------------------------------------------------------------
 
     def build_psi_map(self) -> PsiLossMap:
-        """Fit phi: compression level -> loss on the own coreset."""
+        """Fit phi: compression level -> loss on the own coreset.
+
+        With the default top-k compressor the psi grid is sampled from
+        one shared magnitude ordering (``compress_fn=None`` lets
+        :func:`repro.core.psi.build_psi_map` build a
+        :class:`~repro.compression.TopkPlan`); quantization has no such
+        reusable precomputation and keeps the per-psi path.
+        """
+        compress_fn = None
+        if self.config.compressor != "topk":
+            compress_fn = lambda flat, psi: self.compress_model(psi)  # noqa: E731
         return build_psi_map(
             self.model,
             lambda probe: self.evaluate_model_on(probe, self.coreset.data),
             self.config.nominal_model_bytes,
             psi_grid=self.config.psi_grid,
-            compress_fn=lambda flat, psi: self.compress_model(psi),
+            compress_fn=compress_fn,
         )
 
     def compress_model(self, psi: float) -> CompressedModel:

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.interpolate import Akima1DInterpolator
 
-from repro.compression import compress_topk, decompress
+from repro.compression import decompress, topk_plan
 from repro.core.value import truncated_gain
 from repro.nn.params import get_flat_params
 
@@ -81,13 +81,16 @@ def build_psi_map(
         Paper-scale uncompressed model size (for size accounting only).
     compress_fn:
         Optional ``(flat, psi) -> CompressedModel`` matching the
-        compressor the vehicle will actually use; defaults to top-k.
+        compressor the vehicle will actually use; defaults to top-k
+        sharing one magnitude ordering (:func:`repro.compression.topk_plan`)
+        across the whole grid instead of re-partitioning per psi.
     """
     from repro.nn.params import clone_model, set_flat_params
 
-    if compress_fn is None:
-        compress_fn = lambda flat, psi: compress_topk(flat, psi, nominal_size_bytes)  # noqa: E731
     flat = get_flat_params(model)
+    if compress_fn is None:
+        plan = topk_plan(flat, nominal_size_bytes)
+        compress_fn = lambda _flat, psi: plan.compress(psi)  # noqa: E731
     probe = clone_model(model)
     psis, losses = [], []
     for psi in sorted(psi_grid):

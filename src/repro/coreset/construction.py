@@ -162,8 +162,8 @@ def build_coreset(
         layer_weight[j] = float(weights[mask].sum())
     quotas = allocate_layer_quotas(layer_weight, layer_count, target_size)
 
-    selected_frames: list[Frame] = []
-    source_weights: list[float] = []
+    chosen_per_layer: list[np.ndarray] = []
+    w_c_per_layer: list[np.ndarray] = []
     for j in range(n_layers):
         if quotas[j] == 0:
             continue
@@ -173,13 +173,15 @@ def build_coreset(
         chosen = rng.choice(members, size=int(quotas[j]), replace=False, p=probs)
         # Algorithm 1 line 12: one ratio per layer.
         w_c = float(layer_weight[j] / weights[chosen].sum())
-        for idx in chosen:
-            frame = dataset.frame(int(idx))
-            selected_frames.append(
-                Frame(frame.frame_id, frame.bev, frame.command, frame.waypoints, w_c)
-            )
-            source_weights.append(float(weights[idx]))
+        chosen_per_layer.append(np.asarray(chosen, dtype=np.int64))
+        w_c_per_layer.append(np.full(chosen.size, w_c))
+    if chosen_per_layer:
+        idx = np.concatenate(chosen_per_layer)
+        w_c_all = np.concatenate(w_c_per_layer)
+    else:
+        idx = np.zeros(0, dtype=np.int64)
+        w_c_all = np.zeros(0)
     return Coreset(
-        data=DrivingDataset(selected_frames),
-        source_weights=np.asarray(source_weights),
+        data=dataset.subset(idx, weights=w_c_all),
+        source_weights=weights[idx].astype(float),
     )

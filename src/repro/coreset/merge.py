@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coreset.construction import Coreset, build_coreset
-from repro.sim.dataset import DrivingDataset
 
 __all__ = ["merge_coresets", "reduce_coreset"]
 
@@ -24,10 +23,9 @@ def merge_coresets(a: Coreset, b: Coreset) -> Coreset:
     Duplicate frame ids (possible after repeat encounters) are kept
     once — :class:`DrivingDataset` deduplicates on id.
     """
-    data = DrivingDataset(a.data.frames())
+    data = a.data.copy()
     before = len(data)
-    data.extend(b.data.frames())
-    kept_from_b = len(data) - before
+    kept_from_b = data.absorb_from(b.data)
     source = np.concatenate(
         [
             a.source_weights

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.coreset.construction import Coreset
 from repro.nn.model import N_COMMANDS
-from repro.sim.dataset import DrivingDataset, Frame
+from repro.sim.dataset import DrivingDataset
 
 __all__ = ["uniform_coreset", "kmeans_coreset", "CONSTRUCTORS", "build_coreset_with"]
 
@@ -29,13 +29,11 @@ __all__ = ["uniform_coreset", "kmeans_coreset", "CONSTRUCTORS", "build_coreset_w
 def _select(
     dataset: DrivingDataset, indices: np.ndarray, coreset_weights: np.ndarray
 ) -> Coreset:
-    frames = []
-    source = []
-    for idx, w_c in zip(indices, coreset_weights):
-        frame = dataset.frame(int(idx))
-        frames.append(Frame(frame.frame_id, frame.bev, frame.command, frame.waypoints, float(w_c)))
-        source.append(frame.weight)
-    return Coreset(data=DrivingDataset(frames), source_weights=np.asarray(source))
+    idx = np.asarray(indices, dtype=np.int64)
+    return Coreset(
+        data=dataset.subset(idx, weights=np.asarray(coreset_weights, dtype=float)),
+        source_weights=dataset.weights[idx],
+    )
 
 
 def uniform_coreset(

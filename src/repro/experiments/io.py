@@ -32,7 +32,9 @@ __all__ = ["scale_fingerprint", "cached_context", "save_run", "load_run"]
 
 DEFAULT_CACHE_DIR = Path(".repro_cache")
 
-_CACHE_FORMAT = 1
+#: Bump when the pickled context representation changes (format 2:
+#: array-native DrivingDataset storage).
+_CACHE_FORMAT = 2
 
 
 def scale_fingerprint(scale: ExperimentScale) -> str:

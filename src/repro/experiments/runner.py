@@ -216,7 +216,7 @@ def build_context(scale: ExperimentScale) -> ExperimentContext:
     stride = scale.validation_stride
     for vid, dataset in sorted(raw.items()):
         n = len(dataset)
-        validation.extend([dataset.frame(i) for i in range(0, n, stride)])
+        validation.absorb_from(dataset.subset(range(0, n, stride)))
         datasets[vid] = dataset.subset([i for i in range(n) if i % stride])
     traces = simulate_traces(scale.world, scale.trace_duration)
     context = ExperimentContext(
@@ -254,7 +254,7 @@ def make_nodes(context: ExperimentContext, seed: int = 1) -> list[VehicleNode]:
             seed=scale.model_seed,
         )
         # Each node gets a *copy* of its dataset: trainers mutate them.
-        local = DrivingDataset(dataset.frames())
+        local = dataset.copy()
         nodes.append(
             VehicleNode(vid, model, local, node_config, spawn_rng(seed, f"node-{vid}"))
         )

@@ -3,8 +3,8 @@
 Full example runs take minutes; these tests catch bit-rot (renamed
 APIs, bad imports) cheaply by compiling each script and resolving its
 imports without executing ``main()``.  The ``scripts/`` smoke gates
-(``trace_smoke.py``, ``parallel_smoke.py``) are covered too, so a
-refactor cannot silently break CI's gating scripts.
+(``trace_smoke.py``, ``parallel_smoke.py``, ``hotpath_smoke.py``) are
+covered too, so a refactor cannot silently break CI's gating scripts.
 """
 
 import ast

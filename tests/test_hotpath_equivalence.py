@@ -1,0 +1,208 @@
+"""Data-path equivalence gates for the array-native storage rewrite.
+
+The expectations in ``tests/data/hotpath_expectations.json`` and the
+digests in ``scripts/hotpath_golden.json`` were recorded on the
+pre-rewrite tree (Python-list storage, dict loss cache, per-psi
+argpartition).  These tests assert the rewritten data layer reproduces
+them bit-for-bit: same sampled indices, same per-sample losses, same
+end-to-end ``run_method`` results.
+
+To re-baseline after an *intentional* behaviour change:
+
+    PYTHONPATH=src python -c "from tests.test_hotpath_equivalence import _record; _record()"
+    PYTHONPATH=src python scripts/hotpath_smoke.py --record
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.node import NodeConfig, VehicleNode
+from repro.engine.random import spawn_rng
+from repro.nn import make_driving_model
+from repro.sim.dataset import DrivingDataset, Frame
+
+EXPECTATIONS_PATH = Path(__file__).parent / "data" / "hotpath_expectations.json"
+GOLDEN_PATH = Path(__file__).parent.parent / "scripts" / "hotpath_golden.json"
+
+BEV_SHAPE = (5, 12, 12)
+N_WAYPOINTS = 5
+
+
+def _smoke_module():
+    scripts_dir = str(Path(__file__).parent.parent / "scripts")
+    if scripts_dir not in sys.path:
+        sys.path.insert(0, scripts_dir)
+    import hotpath_smoke
+
+    return hotpath_smoke
+
+
+def _sha(*chunks: bytes) -> str:
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk)
+    return h.hexdigest()
+
+
+def make_synthetic_dataset(n: int = 500) -> DrivingDataset:
+    rng = np.random.default_rng(0)
+    return DrivingDataset(
+        [
+            Frame(
+                f"f{i}",
+                rng.normal(size=BEV_SHAPE).astype(np.float32),
+                int(rng.integers(0, 4)),
+                rng.normal(size=2 * N_WAYPOINTS).astype(np.float32),
+                float(rng.uniform(0.5, 2.0)),
+            )
+            for i in range(n)
+        ]
+    )
+
+
+def make_synthetic_node(dataset: DrivingDataset) -> VehicleNode:
+    model = make_driving_model(BEV_SHAPE, N_WAYPOINTS, hidden=48, seed=0)
+    config = NodeConfig(coreset_size=50, learning_rate=1e-3)
+    return VehicleNode(
+        "bench", model, DrivingDataset(dataset.frames()), config, spawn_rng(7, "bench")
+    )
+
+
+def _sample_batch_record(dataset: DrivingDataset) -> dict:
+    out: dict = {}
+    for label, balanced in (("balanced", True), ("plain", False)):
+        rng = np.random.default_rng(123)
+        idx_lists, blobs = [], []
+        for _ in range(3):
+            bev, commands, targets, idx = dataset.sample_batch(
+                64, rng, balance_commands=balanced
+            )
+            idx_lists.append(np.asarray(idx).tolist())
+            blobs.extend(
+                np.ascontiguousarray(a).tobytes() for a in (bev, commands, targets)
+            )
+        out[f"{label}_idx"] = idx_lists
+        out[f"{label}_digest"] = _sha(*blobs)
+    return out
+
+
+def _loss_record(node: VehicleNode) -> dict:
+    cold = node.per_sample_losses(node.dataset)
+    warm = node.per_sample_losses(node.dataset)
+    out = {
+        "cold_digest": _sha(np.ascontiguousarray(cold, dtype=np.float64).tobytes()),
+        "warm_digest": _sha(np.ascontiguousarray(warm, dtype=np.float64).tobytes()),
+        "first5": cold[:5].tolist(),
+    }
+    # Partial-hit path: a subset seeds the cache at a new model version,
+    # then the full dataset evaluation mixes cache hits and misses.
+    for _ in range(3):
+        node.train_step()
+    node.per_sample_losses(node.dataset.subset(range(0, len(node.dataset), 7)))
+    mixed = node.per_sample_losses(node.dataset)
+    out["mixed_digest"] = _sha(np.ascontiguousarray(mixed, dtype=np.float64).tobytes())
+    out["evaluate"] = node.evaluate(node.dataset)
+    return out
+
+
+def _record() -> None:
+    """Re-record the expectations file (run on a tree whose behaviour
+    is the intended baseline)."""
+    dataset = make_synthetic_dataset()
+    payload = {
+        "sample_batch": _sample_batch_record(dataset),
+        "per_sample_losses": _loss_record(make_synthetic_node(dataset)),
+    }
+    EXPECTATIONS_PATH.parent.mkdir(exist_ok=True)
+    EXPECTATIONS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"recorded {EXPECTATIONS_PATH}")
+
+
+@pytest.fixture(scope="module")
+def expectations() -> dict:
+    return json.loads(EXPECTATIONS_PATH.read_text())
+
+
+class TestSampleBatchDeterminism:
+    def test_matches_recorded(self, expectations):
+        got = _sample_batch_record(make_synthetic_dataset())
+        want = expectations["sample_batch"]
+        for label in ("balanced", "plain"):
+            assert got[f"{label}_idx"] == want[f"{label}_idx"], label
+            assert got[f"{label}_digest"] == want[f"{label}_digest"], label
+
+
+class TestPerSampleLossDeterminism:
+    def test_matches_recorded(self, expectations):
+        got = _loss_record(make_synthetic_node(make_synthetic_dataset()))
+        want = expectations["per_sample_losses"]
+        assert got["first5"] == pytest.approx(want["first5"], rel=0, abs=0)
+        for key in ("cold_digest", "warm_digest", "mixed_digest"):
+            assert got[key] == want[key], key
+        assert got["evaluate"] == want["evaluate"]
+
+
+class TestLossCacheBounded:
+    """The loss cache compacts on refresh instead of growing forever.
+
+    Pre-rewrite, ``VehicleNode`` kept one dict entry per frame id it had
+    *ever* evaluated — peer coresets, validation strides, frames long
+    evicted from merged/reduced coresets — so the cache grew without
+    bound over a run.  Now stale-version entries are dropped on every
+    coreset refresh, bounding the cache by the live frame count.
+    """
+
+    @staticmethod
+    def _foreign(tag: str, rng: np.random.Generator, n: int = 40) -> DrivingDataset:
+        return DrivingDataset(
+            [
+                Frame(
+                    f"{tag}:{i}",
+                    rng.normal(size=BEV_SHAPE).astype(np.float32),
+                    int(rng.integers(0, 4)),
+                    rng.normal(size=2 * N_WAYPOINTS).astype(np.float32),
+                    1.0,
+                )
+                for i in range(n)
+            ]
+        )
+
+    def test_cache_bounded_by_live_frames(self):
+        from repro.coreset import Coreset
+
+        node = make_synthetic_node(make_synthetic_dataset(120))
+        rng = np.random.default_rng(42)
+        for round_idx in range(6):
+            # Churn: frames the local dataset never holds (validation
+            # strides, peer-coreset evaluations) enter the cache...
+            node.evaluate(self._foreign(f"val{round_idx}", rng))
+            node.per_sample_losses(node.dataset.subset(range(0, len(node.dataset), 3)))
+            # ...and an absorbed peer coreset grows the dataset itself.
+            peer = self._foreign(f"peer{round_idx}", rng, n=20)
+            node.absorb_coreset(Coreset(data=peer, source_weights=peer.weights))
+            node.train_step()
+            node.refresh_coreset()
+            assert node.loss_cache_size <= len(node.dataset)
+        # The old dict would have held every id ever seen (>480 here).
+        assert node.loss_cache_size == len(node.dataset)
+
+
+class TestRunMethodBitIdentity:
+    """End-to-end: a seeded run reproduces the pre-rewrite golden."""
+
+    def test_lbchat_matches_golden(self):
+        smoke = _smoke_module()
+        from repro.experiments.runner import RunSpec, build_context, run_method
+
+        golden = json.loads(GOLDEN_PATH.read_text())
+        context = build_context(smoke.build_scale())
+        spec = RunSpec.for_context(context, "LbChat", wireless=True, seed=smoke.SEED)
+        digests = smoke.digest_result(run_method(context, spec))
+        assert digests == golden["LbChat"]
