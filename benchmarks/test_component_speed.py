@@ -208,3 +208,80 @@ def test_bev_render_speed(benchmark):
         lambda: render_bev(town, BevSpec(grid=20, cell=2.0), state, plan, cars, peds)
     )
     assert bev.shape == (5, 20, 20)
+
+
+@pytest.fixture(scope="module")
+def paper_world():
+    """The §IV-A world (32 experts + 50 cars + 250 pedestrians), warmed
+    past the spawn pattern so neighbor queries see realistic density."""
+    from repro.experiments.configs import PAPER
+    from repro.sim.world import World
+
+    world = World(PAPER.world)
+    world.run(5.0)
+    return world
+
+
+def test_world_step_speed(benchmark, paper_world):
+    """One 10 Hz control tick at paper scale — the context-build hot
+    loop (pre-rewrite: an O(n^2) distance scan per tick)."""
+    benchmark(paper_world.step)
+
+
+def test_road_obstacles_grid_speed(benchmark, paper_world):
+    """One tick's worth of fleet neighbor queries, grid build included."""
+    from repro.sim.spatial import SpatialGrid
+    from repro.sim.traffic import road_obstacles
+
+    world = paper_world
+    everything = np.vstack(
+        [
+            world.vehicle_positions(),
+            world.traffic.car_positions(),
+            world.traffic.pedestrian_positions(),
+        ]
+    )
+
+    def sweep():
+        grid = SpatialGrid(everything)
+        return [
+            road_obstacles(world.town, everything, everything[i], grid=grid, exclude=i)
+            for i in range(len(world.vehicles))
+        ]
+
+    results = benchmark(sweep)
+    assert len(results) == len(world.vehicles)
+
+
+def test_snapshot_other_cars_speed(benchmark, paper_world):
+    """Per-snapshot fleet stacking (pre-rewrite: a fresh Python list
+    comprehension over all vehicle states per query)."""
+    snap = paper_world.snapshots[-1]
+    ids = list(snap.vehicle_states)
+    out = benchmark(lambda: [snap.other_car_positions(v) for v in ids])
+    assert out[0].shape == (len(ids) - 1 + len(snap.bg_car_positions), 2)
+
+
+def test_render_fleet_bev_speed(benchmark, paper_world):
+    """Batched per-snapshot rendering of all 32 fleet BEVs."""
+    from repro.experiments.configs import PAPER
+    from repro.sim.bev import render_fleet_bev
+
+    world = paper_world
+    snap = world.snapshots[-1]
+    ids = list(snap.vehicle_states)
+    states = [snap.vehicle_states[v] for v in ids]
+    plans = [snap.vehicle_plans[v] for v in ids]
+    fleet = np.array([s.position for s in states])
+    bevs = benchmark(
+        lambda: render_fleet_bev(
+            world.town,
+            PAPER.bev,
+            states,
+            plans,
+            fleet,
+            snap.bg_car_positions,
+            snap.pedestrian_positions,
+        )
+    )
+    assert bevs.shape == (len(ids),) + PAPER.bev.shape

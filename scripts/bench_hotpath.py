@@ -15,6 +15,14 @@ name; the end-to-end benchmarks run ``run_method`` (what ``repro run``
 executes after context building) on the hotpath-smoke world and on the
 paper world (32 vehicles, 1 km map) with a shortened training horizon
 so a single timing run stays tractable.
+
+``--suite worldsim`` instead times the world-simulation hot path at
+paper scale (332 agents): ``World.step``, one tick's worth of
+``road_obstacles`` neighbor queries, ``render_bev``, per-snapshot fleet
+stacking, ``nearest_node``, and the end-to-end ``paper_context_build``
+(the artifact behind ``BENCH_worldsim.json``, ISSUE 5).  The suite
+auto-detects the spatial-hash grid so the same file runs on the
+pre-rewrite tree for the "before" phase.
 """
 
 from __future__ import annotations
@@ -144,18 +152,130 @@ def bench_end_to_end(which: str) -> dict[str, float]:
     return out
 
 
+def bench_worldsim() -> dict[str, float]:
+    """World-simulation hot-path timings at paper scale (332 agents)."""
+    from dataclasses import replace
+
+    from repro.experiments.configs import PAPER
+    from repro.sim.bev import render_bev
+    from repro.sim.traffic import road_obstacles
+    from repro.sim.world import World
+
+    try:
+        from repro.sim.spatial import SpatialGrid
+    except ImportError:  # pre-rewrite tree: brute-force "before" phase
+        SpatialGrid = None
+
+    out: dict[str, float] = {}
+    world = World(PAPER.world)
+    world.run(5.0)  # let agents disperse from their spawn pattern
+
+    def ten_steps():
+        for _ in range(10):
+            world.step()
+
+    out["world_step_s"] = _time(ten_steps, repeat=5, warmup=1) / 10.0
+
+    # One tick's worth of fleet neighbor queries, as World.step issues
+    # them (superset-from-grid + exact filter after the rewrite).
+    everything = np.vstack(
+        [
+            np.asarray(world.vehicle_positions()),
+            np.asarray(world.traffic.car_positions()),
+            np.asarray(world.traffic.pedestrian_positions()),
+        ]
+    )
+    n_fleet = len(world.vehicles)
+
+    if SpatialGrid is None:
+
+        def query_sweep():
+            for i in range(n_fleet):
+                mask = np.ones(len(everything), dtype=bool)
+                mask[i] = False
+                road_obstacles(world.town, everything[mask], everything[i])
+
+    else:
+
+        def query_sweep():
+            grid = SpatialGrid(everything)
+            for i in range(n_fleet):
+                road_obstacles(
+                    world.town, everything, everything[i], grid=grid, exclude=i
+                )
+
+    out["road_obstacles_fleet_s"] = _time(query_sweep, repeat=20)
+
+    snap = world.snapshots[-1]
+    vid = world.vehicles[0].vehicle_id
+    state = snap.vehicle_states[vid]
+    plan = snap.vehicle_plans[vid]
+    out["render_bev_s"] = _time(
+        lambda: render_bev(
+            world.town,
+            PAPER.bev,
+            state,
+            plan,
+            snap.other_car_positions(vid),
+            snap.pedestrian_positions,
+        ),
+        repeat=30,
+    )
+
+    ids = list(snap.vehicle_states)
+    out["snapshot_other_cars_s"] = _time(
+        lambda: [snap.other_car_positions(v) for v in ids], repeat=30
+    )
+
+    point = np.array([333.3, 777.7])
+    out["nearest_node_s"] = _time(
+        lambda: world.town.nearest_node(point), repeat=200
+    )
+
+    # The headline end-to-end number: context build on the paper world
+    # (same shortened horizons as bench_end_to_end's paper phase).
+    scale = replace(
+        PAPER,
+        name="paper-worldsim-bench",
+        collect_duration=120.0,
+        trace_duration=400.0,
+        train_duration=300.0,
+    )
+    from repro.experiments.runner import build_context
+
+    t0 = time.perf_counter()
+    build_context(scale)
+    out["paper_context_build_s"] = time.perf_counter() - t0
+    return out
+
+
+_SUITE_DESCRIPTIONS = {
+    "components": (
+        "Data-layer/evaluation hot-path timings before and after the "
+        "array-native DrivingDataset storage rewrite (ISSUE 4). "
+        "Component benchmarks use a 500-frame dataset; end-to-end "
+        "benchmarks run run_method('LbChat') on the hotpath-smoke "
+        "world and on the paper world (32 vehicles, 1 km map, "
+        "150-sample coresets) with a shortened training horizon."
+    ),
+    "worldsim": (
+        "World-simulation hot-path timings before and after the "
+        "spatial-hash / struct-of-arrays / batched-BEV rewrite "
+        "(ISSUE 5), measured on the paper world (32 experts + 50 "
+        "background cars + 250 pedestrians, 1 km map). world_step_s is "
+        "one 10 Hz control tick; road_obstacles_fleet_s is one tick's "
+        "worth of fleet neighbor queries; paper_context_build_s is the "
+        "full §IV-A context build (120 s collection + 400 s traces)."
+    ),
+}
+
+
 def merge(before_path: str, after_path: str) -> dict:
     before = json.loads(Path(before_path).read_text())
     after = json.loads(Path(after_path).read_text())
+    suite = before.get("suite", "components")
     report = {
-        "description": (
-            "Data-layer/evaluation hot-path timings before and after the "
-            "array-native DrivingDataset storage rewrite (ISSUE 4). "
-            "Component benchmarks use a 500-frame dataset; end-to-end "
-            "benchmarks run run_method('LbChat') on the hotpath-smoke "
-            "world and on the paper world (32 vehicles, 1 km map, "
-            "150-sample coresets) with a shortened training horizon."
-        ),
+        "description": _SUITE_DESCRIPTIONS[suite],
         "before": before["timings"],
         "after": after["timings"],
         "speedup": {},
@@ -174,6 +294,13 @@ def main() -> int:
     parser.add_argument(
         "--e2e", default="smoke", choices=("none", "smoke", "paper", "both")
     )
+    parser.add_argument(
+        "--suite",
+        default="components",
+        choices=("components", "worldsim"),
+        help="components: ISSUE 4 data-layer suite; worldsim: ISSUE 5 "
+        "paper-scale world-simulation suite (includes paper_context_build)",
+    )
     parser.add_argument("--merge", nargs=2, metavar=("BEFORE", "AFTER"))
     args = parser.parse_args()
 
@@ -183,10 +310,13 @@ def main() -> int:
         print(json.dumps(report["speedup"], indent=2))
         return 0
 
-    timings = bench_components()
-    if args.e2e != "none":
-        timings.update(bench_end_to_end(args.e2e))
-    payload = {"label": args.label, "timings": timings}
+    if args.suite == "worldsim":
+        timings = bench_worldsim()
+    else:
+        timings = bench_components()
+        if args.e2e != "none":
+            timings.update(bench_end_to_end(args.e2e))
+    payload = {"label": args.label, "suite": args.suite, "timings": timings}
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     return 0

@@ -33,8 +33,10 @@ __all__ = ["scale_fingerprint", "cached_context", "save_run", "load_run"]
 DEFAULT_CACHE_DIR = Path(".repro_cache")
 
 #: Bump when the pickled context representation changes (format 2:
-#: array-native DrivingDataset storage).
-_CACHE_FORMAT = 2
+#: array-native DrivingDataset storage; format 3: spatial-grid world —
+#: TownMap grew a lazy node table and TrafficManager/World pickle
+#: struct-of-arrays agent mirrors).
+_CACHE_FORMAT = 3
 
 
 def scale_fingerprint(scale: ExperimentScale) -> str:

@@ -69,12 +69,20 @@ class ExpertAutopilot:
         else:
             self._stopped_time = 0.0
         # Pure pursuit toward a speed-scaled lookahead point on the
-        # right-hand lane line.
+        # right-hand lane line.  The single-point frame transform is
+        # inlined (same expressions as ``to_vehicle_frame``) and the
+        # scalar clip is a min/max — this runs for every car every tick.
         lookahead = max(5.0, 0.9 * state.speed)
         target = self.plan.lane_point_at(self._s + lookahead, self.lane_offset)
-        local = to_vehicle_frame(target[None, :], state.position, state.heading)[0]
-        heading_error = float(np.arctan2(local[1], max(local[0], 1e-3)))
-        turn_rate = float(np.clip(_STEER_GAIN * heading_error, -MAX_TURN_RATE, MAX_TURN_RATE))
+        cos_h, sin_h = np.cos(state.heading), np.sin(state.heading)
+        sx = target[0] - state.x
+        sy = target[1] - state.y
+        local_x = sx * cos_h + sy * sin_h
+        local_y = -sx * sin_h + sy * cos_h
+        heading_error = float(np.arctan2(local_y, max(local_x, 1e-3)))
+        turn_rate = float(
+            min(max(_STEER_GAIN * heading_error, -MAX_TURN_RATE), MAX_TURN_RATE)
+        )
 
         near_intersection = (
             self.plan.distance_to_intersection(self._s) < _INTERSECTION_SLOW_DISTANCE
@@ -103,13 +111,8 @@ class ExpertAutopilot:
                 # Hard-blocked dead ahead: edge around the blocker on its
                 # freer side at walking pace.
                 limit = 1.2
-                turn_rate = float(
-                    np.clip(
-                        turn_rate - np.sign(self._blocker_side(state, obstacles)) * 0.5,
-                        -MAX_TURN_RATE,
-                        MAX_TURN_RATE,
-                    )
-                )
+                edged = turn_rate - np.sign(self._blocker_side(state, obstacles)) * 0.5
+                turn_rate = float(min(max(edged, -MAX_TURN_RATE), MAX_TURN_RATE))
             else:
                 limit = max(limit, 2.0)
         target_speed = min(target_speed, limit)

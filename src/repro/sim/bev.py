@@ -18,18 +18,31 @@ top-down view".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro.sim.autopilot import CRUISE_SPEED
-from repro.sim.geometry import to_world_frame
+from repro.sim.geometry import to_vehicle_frame, to_world_frame
 from repro.sim.kinematics import VehicleState
 from repro.sim.map import TownMap
 from repro.sim.router import RoutePlan
 
-__all__ = ["BevSpec", "render_bev"]
+__all__ = ["BevSpec", "render_bev", "render_fleet_bev"]
 
 N_BEV_CHANNELS = 5
+
+
+@lru_cache(maxsize=64)
+def _cell_centers(spec: BevSpec) -> np.ndarray:
+    extent = spec.grid * spec.cell
+    x0 = -spec.back_fraction * extent
+    xs = x0 + (np.arange(spec.grid) + 0.5) * spec.cell
+    ys = -extent / 2.0 + (np.arange(spec.grid) + 0.5) * spec.cell
+    xx, yy = np.meshgrid(xs, ys, indexing="ij")
+    centers = np.stack([xx.ravel(), yy.ravel()], axis=1)
+    centers.flags.writeable = False
+    return centers
 
 
 @dataclass(frozen=True)
@@ -52,14 +65,10 @@ class BevSpec:
     def cell_centers(self) -> np.ndarray:
         """Vehicle-frame centers of all cells, shape ``(grid*grid, 2)``.
 
-        Row i runs along +x (forward), column j along +y (left).
+        Row i runs along +x (forward), column j along +y (left).  The
+        array is cached per spec and read-only; copy before mutating.
         """
-        extent = self.grid * self.cell
-        x0 = -self.back_fraction * extent
-        xs = x0 + (np.arange(self.grid) + 0.5) * self.cell
-        ys = -extent / 2.0 + (np.arange(self.grid) + 0.5) * self.cell
-        xx, yy = np.meshgrid(xs, ys, indexing="ij")
-        return np.stack([xx.ravel(), yy.ravel()], axis=1)
+        return _cell_centers(self)
 
     def local_to_index(self, local_points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Map vehicle-frame points to (row, col) indices plus a validity mask."""
@@ -78,6 +87,41 @@ def _route_cells(plan: RoutePlan, cell: float) -> set[tuple[int, int]]:
         cache = (cell, plan.route_cells(cell))
         plan._bev_route_cells = cache  # type: ignore[attr-defined]
     return cache[1]
+
+
+def _route_mask(plan: RoutePlan, cell: float) -> tuple[np.ndarray, np.ndarray]:
+    """Per-plan cached dense boolean grid of the route's map cells.
+
+    Returns ``(lo, mask)`` where ``mask[i - lo[0], j - lo[1]]`` is True
+    exactly when cell ``(i, j)`` is in ``plan.route_cells(cell)``; any
+    index outside the mask is off-route.  A dense lookup replaces the
+    per-cell Python set-membership loop with one fancy-index gather.
+    """
+    cache = getattr(plan, "_bev_route_mask", None)
+    if cache is None or cache[0] != cell:
+        cells = np.array(sorted(_route_cells(plan, cell)), dtype=np.int64)
+        lo = cells.min(axis=0)
+        shape = cells.max(axis=0) - lo + 1
+        mask = np.zeros(shape, dtype=bool)
+        mask[cells[:, 0] - lo[0], cells[:, 1] - lo[1]] = True
+        cache = (cell, lo, mask)
+        plan._bev_route_mask = cache  # type: ignore[attr-defined]
+    return cache[1], cache[2]
+
+
+def _route_lookup(plan: RoutePlan, cell: float, idx: np.ndarray) -> np.ndarray:
+    """Boolean route membership for integer map-cell indices ``(..., 2)``."""
+    lo, mask = _route_mask(plan, cell)
+    shifted = idx - lo
+    valid = (
+        (shifted[..., 0] >= 0)
+        & (shifted[..., 0] < mask.shape[0])
+        & (shifted[..., 1] >= 0)
+        & (shifted[..., 1] < mask.shape[1])
+    )
+    on_route = np.zeros(idx.shape[:-1], dtype=bool)
+    on_route[valid] = mask[shifted[..., 0][valid], shifted[..., 1][valid]]
+    return on_route
 
 
 def render_bev(
@@ -101,12 +145,9 @@ def render_bev(
     road = town.occupancy_at(centers_world).reshape(spec.grid, spec.grid)
     bev[0] = road
 
-    # Channel 1: route cells.
-    cells = _route_cells(plan, town.cell)
+    # Channel 1: route cells via the plan's dense cell mask.
     idx = np.floor(centers_world / town.cell).astype(int)
-    on_route = np.fromiter(
-        ((int(i), int(j)) in cells for i, j in idx), dtype=bool, count=len(idx)
-    )
+    on_route = _route_lookup(plan, town.cell, idx)
     bev[1] = on_route.reshape(spec.grid, spec.grid)
 
     # Channels 2-3: dynamic agents.
@@ -114,8 +155,6 @@ def render_bev(
         positions = np.asarray(positions, dtype=float).reshape(-1, 2)
         if len(positions) == 0:
             continue
-        from repro.sim.geometry import to_vehicle_frame
-
         local = to_vehicle_frame(positions, state.position, state.heading)
         rc, valid = spec.local_to_index(local)
         rc = rc[valid]
@@ -123,4 +162,84 @@ def render_bev(
 
     # Channel 4: normalized ego speed plane.
     bev[4] = np.clip(state.speed / CRUISE_SPEED, 0.0, 1.5)
+    return bev
+
+
+def render_fleet_bev(
+    town: TownMap,
+    spec: BevSpec,
+    states: list[VehicleState],
+    plans: list[RoutePlan],
+    fleet_positions: np.ndarray,
+    bg_car_positions: np.ndarray,
+    pedestrian_positions: np.ndarray,
+) -> np.ndarray:
+    """Render one snapshot's BEVs for the whole fleet, batched.
+
+    ``fleet_positions`` must be the ``(V, 2)`` stacked positions of the
+    same vehicles as ``states``/``plans``; each vehicle's car channel
+    sees the other V-1 fleet members plus ``bg_car_positions``.  Every
+    channel is computed with the same elementwise arithmetic as
+    :func:`render_bev` (broadcast across the fleet axis), so the result
+    is bit-identical to rendering each vehicle separately.
+
+    Returns a ``(V, channels, grid, grid)`` float32 tensor.
+    """
+    n_fleet = len(states)
+    bev = np.zeros((n_fleet,) + spec.shape, dtype=np.float32)
+    if n_fleet == 0:
+        return bev
+    pos = np.asarray(fleet_positions, dtype=float).reshape(n_fleet, 2)
+    headings = np.array([s.heading for s in states])
+    cos_h = np.cos(headings)[:, None]
+    sin_h = np.sin(headings)[:, None]
+
+    # All vehicles' cell centers in world frame: to_world_frame with the
+    # scalar cos/sin broadcast over a (V, 1) column instead.
+    centers_local = spec.cell_centers()
+    clx = centers_local[:, 0][None, :]
+    cly = centers_local[:, 1][None, :]
+    wx = clx * cos_h - cly * sin_h
+    wy = clx * sin_h + cly * cos_h
+    centers_world = np.stack([wx, wy], axis=-1) + pos[:, None, :]
+
+    # Channel 0: road occupancy, one lookup for all V*grid*grid centers.
+    occ = town.occupancy_at(centers_world.reshape(-1, 2))
+    bev[:, 0] = occ.reshape(n_fleet, spec.grid, spec.grid)
+
+    # Channel 1: per-plan dense route masks.
+    idx = np.floor(centers_world / town.cell).astype(int)
+    for v, plan in enumerate(plans):
+        bev[v, 1] = _route_lookup(plan, town.cell, idx[v]).reshape(
+            spec.grid, spec.grid
+        )
+
+    # Channels 2-3: dynamic agents, all egos at once.  The fleet itself
+    # doubles as each ego's "other cars" with the ego's own column
+    # masked out.
+    extent = spec.grid * spec.cell
+    x0 = -spec.back_fraction * extent
+    for channel, points, self_exclude in (
+        (2, np.vstack([pos, np.asarray(bg_car_positions, dtype=float).reshape(-1, 2)]), True),
+        (3, np.asarray(pedestrian_positions, dtype=float).reshape(-1, 2), False),
+    ):
+        if len(points) == 0:
+            continue
+        # to_vehicle_frame, broadcast to (V, n_points).
+        sx = points[None, :, 0] - pos[:, 0][:, None]
+        sy = points[None, :, 1] - pos[:, 1][:, None]
+        lx = sx * cos_h + sy * sin_h
+        ly = -sx * sin_h + sy * cos_h
+        rows = np.floor((lx - x0) / spec.cell).astype(int)
+        cols = np.floor((ly + extent / 2.0) / spec.cell).astype(int)
+        valid = (rows >= 0) & (rows < spec.grid) & (cols >= 0) & (cols < spec.grid)
+        if self_exclude:
+            diag = np.arange(n_fleet)
+            valid[diag, diag] = False
+        vi, pi = np.nonzero(valid)
+        bev[vi, channel, rows[vi, pi], cols[vi, pi]] = 1.0
+
+    # Channel 4: normalized ego speed planes.
+    speeds = np.array([s.speed for s in states])
+    bev[:, 4] = np.clip(speeds / CRUISE_SPEED, 0.0, 1.5)[:, None, None]
     return bev

@@ -27,8 +27,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn.model import N_COMMANDS
-from repro.sim.bev import BevSpec, render_bev
-from repro.sim.geometry import to_vehicle_frame
+from repro.sim.bev import BevSpec, render_fleet_bev
+from repro.sim.geometry import to_vehicle_frame_fleet
 from repro.sim.world import World
 
 __all__ = ["Frame", "DrivingDataset", "collect_fleet_datasets"]
@@ -404,30 +404,40 @@ def collect_fleet_datasets(
         v.vehicle_id: DrivingDataset() for v in world.vehicles
     }
     n_usable = len(snapshots) - horizon
-    for k in range(max(n_usable, 0)):
+    if n_usable <= 0 or not datasets:
+        return datasets
+    # Fleet positions across all snapshots, (n_snapshots, V, 2); slices
+    # of this provide both BEV origins and future waypoint labels.
+    ids = list(snapshots[0].vehicle_states)
+    all_pos = np.array(
+        [[snap.vehicle_states[vid].position for vid in ids] for snap in snapshots]
+    )
+    for k in range(n_usable):
         snap = snapshots[k]
-        for vehicle_id, state in snap.vehicle_states.items():
-            future = np.array(
-                [
-                    snapshots[k + (j + 1) * stride].vehicle_states[vehicle_id].position
-                    for j in range(n_waypoints)
-                ]
-            )
-            waypoints = to_vehicle_frame(future, state.position, state.heading)
-            bev = render_bev(
-                world.town,
-                bev_spec,
-                state,
-                snap.vehicle_plans[vehicle_id],
-                snap.other_car_positions(vehicle_id),
-                snap.pedestrian_positions,
-            )
+        states = [snap.vehicle_states[vid] for vid in ids]
+        headings = np.array([s.heading for s in states])
+        bevs = render_fleet_bev(
+            world.town,
+            bev_spec,
+            states,
+            [snap.vehicle_plans[vid] for vid in ids],
+            all_pos[k],
+            snap.bg_car_positions,
+            snap.pedestrian_positions,
+        )
+        # (V, n_waypoints, 2): each vehicle's future positions at
+        # snapshots k + stride, k + 2*stride, ..., in its current frame.
+        future = np.swapaxes(
+            all_pos[k + stride : k + n_waypoints * stride + 1 : stride], 0, 1
+        )
+        waypoints = to_vehicle_frame_fleet(future, all_pos[k], headings)
+        for v, vehicle_id in enumerate(ids):
             datasets[vehicle_id].add(
                 Frame(
                     frame_id=f"{vehicle_id}:{k}",
-                    bev=bev,
+                    bev=bevs[v],
                     command=snap.vehicle_commands[vehicle_id],
-                    waypoints=waypoints.ravel().astype(np.float32),
+                    waypoints=waypoints[v].ravel().astype(np.float32),
                 )
             )
     return datasets

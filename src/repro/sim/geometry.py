@@ -7,6 +7,7 @@ import numpy as np
 __all__ = [
     "wrap_angle",
     "to_vehicle_frame",
+    "to_vehicle_frame_fleet",
     "to_world_frame",
     "point_segment_distance",
     "polyline_lengths",
@@ -30,6 +31,26 @@ def to_vehicle_frame(
     points = np.asarray(points, dtype=float)
     cos_h, sin_h = np.cos(heading), np.sin(heading)
     shifted = points - np.asarray(position, dtype=float)
+    x = shifted[..., 0] * cos_h + shifted[..., 1] * sin_h
+    y = -shifted[..., 0] * sin_h + shifted[..., 1] * cos_h
+    return np.stack([x, y], axis=-1)
+
+
+def to_vehicle_frame_fleet(
+    points: np.ndarray, positions: np.ndarray, headings: np.ndarray
+) -> np.ndarray:
+    """:func:`to_vehicle_frame` for a fleet of frames at once.
+
+    ``points`` is ``(V, n, 2)`` — per-frame point sets — with frame
+    origins ``positions`` ``(V, 2)`` and ``headings`` ``(V,)``.  The
+    arithmetic broadcasts the per-vehicle version elementwise, so each
+    ``out[v]`` is bit-identical to
+    ``to_vehicle_frame(points[v], positions[v], headings[v])``.
+    """
+    points = np.asarray(points, dtype=float)
+    cos_h = np.cos(headings)[:, None]
+    sin_h = np.sin(headings)[:, None]
+    shifted = points - np.asarray(positions, dtype=float)[:, None, :]
     x = shifted[..., 0] * cos_h + shifted[..., 1] * sin_h
     y = -shifted[..., 0] * sin_h + shifted[..., 1] * cos_h
     return np.stack([x, y], axis=-1)

@@ -46,8 +46,10 @@ def advance(state: VehicleState, turn_rate: float, accel: float, dt: float) -> V
     ``turn_rate`` (rad/s) and ``accel`` (m/s^2) are clipped to the
     vehicle's physical limits; speed never goes negative.
     """
-    turn_rate = float(np.clip(turn_rate, -MAX_TURN_RATE, MAX_TURN_RATE))
-    accel = float(np.clip(accel, -MAX_DECEL, MAX_ACCEL))
+    # Scalar clip via min/max (same result, none of np.clip's dispatch
+    # overhead — this runs hundreds of times per tick).
+    turn_rate = float(min(max(turn_rate, -MAX_TURN_RATE), MAX_TURN_RATE))
+    accel = float(min(max(accel, -MAX_DECEL), MAX_ACCEL))
     speed = max(state.speed + accel * dt, 0.0)
     heading = float(wrap_angle(state.heading + turn_rate * dt))
     # Integrate position with the mid-step speed for stability.

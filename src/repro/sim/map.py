@@ -61,6 +61,8 @@ class TownMap:
             self._build_rural(grid_n, rng)
         self._edges = list(self.graph.edges())
         self._node_pos = {n: np.asarray(self.graph.nodes[n]["pos"], dtype=float) for n in self.graph}
+        self._node_names: list | None = None
+        self._node_stack: np.ndarray | None = None
         self._occupancy = self._rasterize_roads()
 
     # -- construction ------------------------------------------------------
@@ -157,15 +159,28 @@ class TownMap:
         """Intersections belonging to the town grid (not rural)."""
         return [n for n in self.graph if self.graph.nodes[n]["kind"] == "town"]
 
+    def _node_table(self) -> tuple[list, np.ndarray]:
+        """Node names and their stacked (n, 2) positions, built lazily.
+
+        Lazy (and guarded with ``getattr``) so ``TownMap`` instances
+        unpickled from older context caches grow the table on first use.
+        """
+        names = getattr(self, "_node_names", None)
+        if names is None:
+            names = list(self._node_pos)
+            self._node_names = names
+            self._node_stack = np.array([self._node_pos[n] for n in names])
+        return names, self._node_stack
+
     def nearest_node(self, point: np.ndarray):
         """The intersection closest to ``point``."""
         point = np.asarray(point, dtype=float)
-        best, best_d = None, np.inf
-        for node, pos in self._node_pos.items():
-            d = float(np.linalg.norm(pos - point))
-            if d < best_d:
-                best, best_d = node, d
-        return best
+        names, stack = self._node_table()
+        if not names:
+            return None
+        # Same per-node norm as the former min-loop; np.argmin keeps the
+        # loop's first-minimum tie-break.
+        return names[int(np.argmin(np.linalg.norm(stack - point, axis=1)))]
 
     def shortest_path(self, a, b, rng: np.random.Generator | None = None) -> list:
         """Node sequence of the shortest road path from ``a`` to ``b``.
@@ -212,8 +227,8 @@ class TownMap:
             (idx[:, 0] >= 0) & (idx[:, 0] < n) & (idx[:, 1] >= 0) & (idx[:, 1] < n)
         )
         out = np.zeros(len(points), dtype=bool)
-        clipped = np.clip(idx, 0, n - 1)
-        out[valid] = self._occupancy[clipped[valid, 0], clipped[valid, 1]]
+        inside = idx[valid]
+        out[valid] = self._occupancy[inside[:, 0], inside[:, 1]]
         return out
 
     def district_of(self, point: np.ndarray, n_districts: int = 4) -> int:

@@ -71,10 +71,29 @@ class RoutePlan:
     # -- queries -----------------------------------------------------------
 
     def point_at(self, s: float) -> np.ndarray:
-        """Point on the route at arc length ``s`` (clamped)."""
-        s = float(np.clip(s, 0.0, self.total_length))
-        x = np.interp(s, self.cum_lengths, self.polyline[:, 0])
-        y = np.interp(s, self.cum_lengths, self.polyline[:, 1])
+        """Point on the route at arc length ``s`` (clamped).
+
+        Scalar linear interpolation with ``np.interp``'s exact branch
+        and arithmetic order (segment lookup, equal-knot shortcut,
+        ``slope * (s - knot) + value``), inlined because this is the
+        single hottest query of the simulation's control loop.
+        """
+        cum = self.cum_lengths
+        total = self.total_length
+        s = 0.0 if s < 0.0 else (total if s > total else float(s))
+        poly = self.polyline
+        j = int(np.searchsorted(cum, s, side="right")) - 1
+        if j >= len(cum) - 1:
+            return np.array([poly[-1, 0], poly[-1, 1]])
+        if j < 0:
+            return np.array([poly[0, 0], poly[0, 1]])
+        cj = cum[j]
+        if cj == s:
+            return np.array([poly[j, 0], poly[j, 1]])
+        dxp = cum[j + 1] - cj
+        t = s - cj
+        x = (poly[j + 1, 0] - poly[j, 0]) / dxp * t + poly[j, 0]
+        y = (poly[j + 1, 1] - poly[j, 1]) / dxp * t + poly[j, 1]
         return np.array([x, y])
 
     def heading_at(self, s: float) -> float:
@@ -108,10 +127,16 @@ class RoutePlan:
             lo, hi = 0, len(self.polyline)
         else:
             idx = int(np.searchsorted(self.cum_lengths, hint))
-            window = max(int(60.0 / max(self.cum_lengths[1], 1e-9)), 5)
+            window = getattr(self, "_window", None)
+            if window is None:
+                window = max(int(60.0 / max(self.cum_lengths[1], 1e-9)), 5)
+                self._window = window
             lo, hi = max(idx - window, 0), min(idx + window, len(self.polyline))
         segment = self.polyline[lo:hi]
-        dists = np.linalg.norm(segment - position, axis=1)
+        # norm inlined (sqrt kept: argmin on rounded distances, not the
+        # squares, preserves the original tie-breaking bit for bit).
+        d = segment - position
+        dists = np.sqrt(np.add.reduce(d * d, axis=1))
         return float(self.cum_lengths[lo + int(np.argmin(dists))])
 
     def route_cells(self, cell: float) -> set[tuple[int, int]]:
@@ -127,10 +152,11 @@ class RoutePlan:
         infinity past the last interior vertex.
         """
         interior = self.vertex_s[1:-1]
-        ahead = interior[interior >= s - 5.0]
-        if len(ahead) == 0:
+        # First interior vertex at or beyond s - 5.0 (vertex_s ascends).
+        k = int(np.searchsorted(interior, s - 5.0))
+        if k >= len(interior):
             return np.inf
-        return float(max(ahead[0] - s, 0.0))
+        return float(max(interior[k] - s, 0.0))
 
     def lane_point_at(self, s: float, lane_offset: float) -> np.ndarray:
         """Route point shifted ``lane_offset`` meters to the right.
@@ -140,8 +166,12 @@ class RoutePlan:
         """
         point = self.point_at(s)
         heading = self.heading_at(s)
-        right_normal = np.array([np.sin(heading), -np.cos(heading)])
-        return point + lane_offset * right_normal
+        return np.array(
+            [
+                point[0] + lane_offset * np.sin(heading),
+                point[1] + lane_offset * -np.cos(heading),
+            ]
+        )
 
     def done(self, s: float, tolerance: float = 5.0) -> bool:
         """Whether arc position ``s`` is within ``tolerance`` of the end."""

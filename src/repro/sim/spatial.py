@@ -1,0 +1,146 @@
+"""Uniform spatial-hash grid for neighbor queries.
+
+The simulation's per-tick question is "which agents sit within radius
+``r`` of point ``p``?", asked once per agent per tick.  Brute force
+recomputes all ``n`` distances for each of the ``n`` agents — O(n^2)
+per tick, the dominant cost of paper-scale worlds (332 agents).
+
+:class:`SpatialGrid` buckets the agent positions into square cells once
+per tick (a single counting sort), after which each query gathers the
+buckets overlapping the query disk's bounding square — a *superset* of
+the true neighbors, returned as indices sorted in original order.
+Callers then apply the **same exact distance test** the brute-force
+scan used, on the same float values, in the same index order, so
+selected obstacle sets — and therefore entire simulation runs — stay
+bit-identical to the O(n^2) path (gated by the hotpath goldens).
+
+The grid is rebuilt from scratch every tick: construction is a handful
+of vectorized passes over an ``(n, 2)`` array, far cheaper than even a
+single brute-force sweep, and rebuilding sidesteps incremental-update
+bookkeeping entirely.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["SpatialGrid", "DEFAULT_CELL_SIZE"]
+
+#: Default bucket edge length in meters.  Matching the common query
+#: radius (``road_obstacles``' 45 m) keeps the gathered window at most
+#: 2-3 buckets per axis while buckets stay coarse enough that the
+#: per-query Python overhead does not dominate.
+DEFAULT_CELL_SIZE = 45.0
+
+#: Refuse to allocate absurdly large bucket tables (a stray agent flung
+#: to huge coordinates would otherwise blow up the flat cell index);
+#: past this the grid degrades to brute force, which stays correct.
+_MAX_CELLS = 1 << 22
+
+_EMPTY = np.zeros(0, dtype=np.intp)
+
+
+class SpatialGrid:
+    """Bucket grid over ``(n, 2)`` points answering radius queries.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` float array of point coordinates.  The grid keeps a
+        reference (no copy); callers must not mutate it while querying.
+    cell_size:
+        Bucket edge length.  Queries are cheapest when this is close to
+        the typical query radius.
+    """
+
+    def __init__(self, positions: np.ndarray, cell_size: float = DEFAULT_CELL_SIZE):
+        positions = np.asarray(positions, dtype=float).reshape(-1, 2)
+        if cell_size <= 0.0:
+            raise ValueError(f"cell_size must be positive: {cell_size}")
+        self.positions = positions
+        self.cell_size = float(cell_size)
+        n = len(positions)
+        self._n = n
+        self._brute = False
+        if n == 0:
+            return
+        ij = np.floor(positions / self.cell_size).astype(np.int64)
+        i0 = int(ij[:, 0].min())
+        j0 = int(ij[:, 1].min())
+        ni = int(ij[:, 0].max()) - i0 + 1
+        nj = int(ij[:, 1].max()) - j0 + 1
+        if ni * nj > _MAX_CELLS:
+            self._brute = True
+            return
+        flat = (ij[:, 0] - i0) * nj + (ij[:, 1] - j0)
+        self._order = np.argsort(flat, kind="stable")
+        counts = np.bincount(flat, minlength=ni * nj)
+        self._starts = np.concatenate([[0], np.cumsum(counts)])
+        self._i0, self._j0 = i0, j0
+        self._ni, self._nj = ni, nj
+        # Memo of gathered windows: co-located agents issue the same
+        # bucket-window query, so one tick's n queries hit far fewer
+        # distinct windows.  Cached arrays are shared — hence read-only.
+        self._window_cache: dict[tuple[int, int, int, int], np.ndarray] = {}
+
+    def query(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of a superset of the points within ``radius`` of ``center``.
+
+        Returns every point whose bucket intersects the query disk's
+        bounding square, as an ascending index array.  Callers needing
+        the exact disk apply their own distance test (see
+        :meth:`query_radius`); the superset-then-exact-filter split is
+        what keeps grid-backed queries bit-identical to brute force.
+        """
+        if self._n == 0:
+            return _EMPTY
+        if self._brute:
+            return np.arange(self._n, dtype=np.intp)
+        inv = 1.0 / self.cell_size
+        cx = float(center[0])
+        cy = float(center[1])
+        ci0 = max(math.floor((cx - radius) * inv) - self._i0, 0)
+        ci1 = min(math.floor((cx + radius) * inv) - self._i0, self._ni - 1)
+        cj0 = max(math.floor((cy - radius) * inv) - self._j0, 0)
+        cj1 = min(math.floor((cy + radius) * inv) - self._j0, self._nj - 1)
+        if ci0 > ci1 or cj0 > cj1:
+            return _EMPTY
+        key = (ci0, ci1, cj0, cj1)
+        cached = self._window_cache.get(key)
+        if cached is not None:
+            return cached
+        starts = self._starts
+        order = self._order
+        nj = self._nj
+        # Bucket ids along one i-row are contiguous in the flat index,
+        # so each row of the query window is a single slice.
+        chunks = []
+        for ci in range(ci0, ci1 + 1):
+            base = ci * nj
+            s = starts[base + cj0]
+            e = starts[base + cj1 + 1]
+            if e > s:
+                chunks.append(order[s:e])
+        if not chunks:
+            cand = _EMPTY
+        else:
+            cand = np.sort(chunks[0] if len(chunks) == 1 else np.concatenate(chunks))
+            cand.flags.writeable = False
+        self._window_cache[key] = cand
+        return cand
+
+    def query_radius(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of exactly the points with ``|p - center| < radius``.
+
+        Ascending order; distances are computed with the same
+        ``np.linalg.norm`` expression a brute-force scan would use, so
+        the selection matches it bit for bit.
+        """
+        idx = self.query(center, radius)
+        if len(idx) == 0:
+            return idx
+        d = self.positions[idx] - np.asarray(center, dtype=float)
+        dist = np.sqrt(np.add.reduce(d * d, axis=1))
+        return idx[dist < radius]

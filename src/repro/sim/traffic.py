@@ -15,6 +15,7 @@ from repro.sim.autopilot import ExpertAutopilot
 from repro.sim.kinematics import VehicleState, advance
 from repro.sim.map import TownMap
 from repro.sim.router import random_route
+from repro.sim.spatial import SpatialGrid
 
 __all__ = ["BackgroundCar", "Pedestrian", "TrafficManager"]
 
@@ -87,18 +88,28 @@ class Pedestrian:
         dt: float,
         car_positions: np.ndarray | None = None,
         car_speeds: np.ndarray | None = None,
+        gaps: np.ndarray | None = None,
     ) -> None:
         delta = self._target - self.position
-        dist = float(np.linalg.norm(delta))
+        # Scalar / axis-1 norms inlined to np.linalg.norm's own formulas
+        # (sqrt(x.dot(x)) and sqrt(add.reduce(x*x, axis=1))) — identical
+        # bits without the wrapper dispatch; this runs per ped per tick.
+        dist = float(np.sqrt(delta.dot(delta)))
         if dist < 1.0:
             self._target = self._new_target()
             return
         next_pos = self.position + delta / dist * _PED_SPEED * dt
         if car_positions is not None and len(car_positions):
-            gaps = np.linalg.norm(car_positions - self.position, axis=1)
+            if gaps is None:
+                # ``gaps`` lets the caller hand in already-computed
+                # distances to exactly ``car_positions`` (same per-pair
+                # arithmetic), e.g. rows of a batched distance matrix.
+                d = car_positions - self.position
+                gaps = np.sqrt(np.add.reduce(d * d, axis=1))
             nearest = float(gaps.min())
             # Personal space: never walk to within arm's reach of a car.
-            next_gap = float(np.min(np.linalg.norm(car_positions - next_pos, axis=1)))
+            d = car_positions - next_pos
+            next_gap = float(np.min(np.sqrt(np.add.reduce(d * d, axis=1))))
             if next_gap < 3.0 and next_gap < nearest:
                 # Blocked: walk somewhere else instead of standing next
                 # to a car forever (which deadlocks traffic).
@@ -119,8 +130,22 @@ class Pedestrian:
         self.position = next_pos
 
 
+def _readonly_view(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
 class TrafficManager:
-    """Owns and steps all background agents; exposes position arrays."""
+    """Owns and steps all background agents; exposes position arrays.
+
+    Agent positions and speeds are mirrored in preallocated
+    struct-of-arrays buffers updated in place as each agent steps, so
+    ``car_positions()``/``pedestrian_positions()`` serve read-only views
+    instead of rebuilding arrays from Python attribute loops.  Agents
+    are only ever advanced through :meth:`step`, which keeps the
+    mirrors fresh.
+    """
 
     def __init__(
         self,
@@ -158,18 +183,23 @@ class TrafficManager:
                         break
                     ped = Pedestrian(town, np.random.default_rng(rng.integers(2**63)))
             self.pedestrians.append(ped)
+        self._car_pos = np.array(
+            [c.state.position for c in self.cars], dtype=float
+        ).reshape(-1, 2)
+        self._car_speed = np.array([c.state.speed for c in self.cars], dtype=float)
+        self._ped_pos = np.array(
+            [p.position for p in self.pedestrians], dtype=float
+        ).reshape(-1, 2)
+        self._car_pos_view = _readonly_view(self._car_pos)
+        self._ped_pos_view = _readonly_view(self._ped_pos)
 
     def car_positions(self) -> np.ndarray:
-        """(n, 2) positions of all background cars."""
-        if not self.cars:
-            return np.zeros((0, 2))
-        return np.array([c.state.position for c in self.cars])
+        """(n, 2) positions of all background cars (read-only view)."""
+        return self._car_pos_view
 
     def pedestrian_positions(self) -> np.ndarray:
-        """(n, 2) positions of all pedestrians."""
-        if not self.pedestrians:
-            return np.zeros((0, 2))
-        return np.array([p.position for p in self.pedestrians])
+        """(n, 2) positions of all pedestrians (read-only view)."""
+        return self._ped_pos_view
 
     def step(
         self,
@@ -187,31 +217,58 @@ class TrafficManager:
         extra_obstacles = extra_obstacles.reshape(-1, 2)
         if extra_speeds is None:
             extra_speeds = np.full(len(extra_obstacles), 1.0)
-        car_pos = self.car_positions()
-        ped_pos = self.pedestrian_positions()
-        all_pos = np.vstack([car_pos, ped_pos, extra_obstacles])
+        n_cars = len(self.cars)
+        n_peds = len(self.pedestrians)
+        # Pre-step positions: the vstack copies out of the live mirrors,
+        # so every agent this tick sees where the others *were*, exactly
+        # as the rebuilt-array implementation did.
+        all_pos = np.vstack([self._car_pos, self._ped_pos, extra_obstacles])
+        grid = SpatialGrid(all_pos)
+        on_road = self._town.occupancy_at(all_pos)
         for i, car in enumerate(self.cars):
             # Every agent except this car itself is an obstacle.
-            mask = np.ones(len(all_pos), dtype=bool)
-            mask[i] = False
-            near = road_obstacles(self._town, all_pos[mask], car.state.position)
+            near = road_obstacles(
+                self._town,
+                all_pos,
+                car.state.position,
+                grid=grid,
+                exclude=i,
+                on_road=on_road,
+            )
             car.step(near, dt)
-        all_cars = np.vstack([car_pos, extra_obstacles])
-        car_speeds = np.concatenate(
-            [np.array([c.state.speed for c in self.cars]), extra_speeds]
-        )
-        for ped in self.pedestrians:
-            gaps = (
-                np.linalg.norm(all_cars - ped.position, axis=1)
-                if len(all_cars)
-                else np.zeros(0)
-            )
-            near_mask = gaps < 16.0 if len(gaps) else np.zeros(0, dtype=bool)
-            ped.step(
-                dt,
-                car_positions=all_cars[near_mask] if len(all_cars) else all_cars,
-                car_speeds=car_speeds[near_mask] if len(all_cars) else car_speeds,
-            )
+            self._car_pos[i, 0] = car.state.x
+            self._car_pos[i, 1] = car.state.y
+            self._car_speed[i] = car.state.speed
+        # Pedestrians see pre-step car positions but post-step speeds
+        # (a car that just braked to a stop is safe to cross in front of).
+        # Peds only care about cars within arm's-length radii, and the
+        # ped x car block is small and dense (250 x ~80 at paper scale),
+        # so one broadcast distance matrix beats per-ped grid queries;
+        # each row holds the same per-pair arithmetic a per-ped scan
+        # would produce, sliced in ascending car order.
+        all_cars = np.vstack([all_pos[:n_cars], all_pos[n_cars + n_peds :]])
+        car_speeds = np.concatenate([self._car_speed, extra_speeds])
+        ped_pre = all_pos[n_cars : n_cars + n_peds]
+        if n_peds and len(all_cars):
+            d3 = ped_pre[:, None, :] - all_cars[None, :, :]
+            gap_matrix = np.sqrt(np.add.reduce(d3 * d3, axis=2))
+            near_mask = gap_matrix < 16.0
+            for j, ped in enumerate(self.pedestrians):
+                row = near_mask[j]
+                if row.any():
+                    ped.step(
+                        dt,
+                        car_positions=all_cars[row],
+                        car_speeds=car_speeds[row],
+                        gaps=gap_matrix[j][row],
+                    )
+                else:
+                    ped.step(dt)
+                self._ped_pos[j] = ped.position
+        else:
+            for j, ped in enumerate(self.pedestrians):
+                ped.step(dt)
+                self._ped_pos[j] = ped.position
 
 
 def _nearby(positions: np.ndarray, center: np.ndarray, radius: float) -> np.ndarray:
@@ -223,20 +280,54 @@ def _nearby(positions: np.ndarray, center: np.ndarray, radius: float) -> np.ndar
 
 
 def road_obstacles(
-    town: TownMap, positions: np.ndarray, center: np.ndarray, radius: float = 45.0
+    town: TownMap,
+    positions: np.ndarray,
+    center: np.ndarray,
+    radius: float = 45.0,
+    grid: SpatialGrid | None = None,
+    exclude: int | None = None,
+    on_road: np.ndarray | None = None,
 ) -> np.ndarray:
     """Obstacles a driver actually reacts to.
 
     Keeps agents that are near ``center`` and on the pavement — drivers
     do not brake for people standing on the sidewalk, which would
     deadlock traffic against curb-waiting pedestrians.
+
+    ``grid`` (a :class:`SpatialGrid` built over exactly ``positions``)
+    prunes the distance test to the buckets around ``center``; the
+    pruned path applies the same exact distance filter in ascending
+    index order, so it returns the identical array.  ``exclude`` drops
+    one row (an agent querying its own neighborhood) by index.
+
+    ``on_road`` is an optional precomputed ``occupancy_at(positions)``
+    boolean vector: the occupancy lookup is row-wise independent, so a
+    tick's many queries over the same ``positions`` can share one
+    batched lookup instead of re-testing their candidates each call.
     """
     if len(positions) == 0:
         return positions
-    dist = np.linalg.norm(positions - center, axis=1)
+    if grid is not None:
+        idx = grid.query(center, radius)
+        if exclude is not None:
+            idx = idx[idx != exclude]
+        # np.linalg.norm(..., axis=1) unwrapped to its own internals
+        # (sqrt of add.reduce of squares) — same bits, no dispatch.
+        d = positions[idx] - center
+        dist = np.sqrt(np.add.reduce(d * d, axis=1))
+        keep = idx[dist < radius]
+        candidates = positions[keep]
+        if len(candidates) == 0:
+            return candidates
+        mask = on_road[keep] if on_road is not None else town.occupancy_at(candidates)
+        return candidates[mask]
+    d = positions - center
+    dist = np.sqrt(np.add.reduce(d * d, axis=1))
     near = dist < radius
-    if not near.any():
-        return positions[near]
+    if exclude is not None:
+        near[exclude] = False
     candidates = positions[near]
-    on_road = town.occupancy_at(candidates)
-    return candidates[on_road]
+    if len(candidates) == 0:
+        return candidates
+    mask = on_road[near] if on_road is not None else town.occupancy_at(candidates)
+    return candidates[mask]

@@ -11,6 +11,7 @@ from repro.sim.autopilot import ExpertAutopilot
 from repro.sim.kinematics import VehicleState, advance
 from repro.sim.map import TownMap
 from repro.sim.router import RoutePlan, random_route
+from repro.sim.spatial import SpatialGrid
 from repro.sim.traffic import TrafficManager, road_obstacles
 
 __all__ = ["WorldConfig", "ExpertVehicle", "World", "CAR_RADIUS", "PED_RADIUS"]
@@ -72,13 +73,29 @@ class Snapshot:
     bg_car_positions: np.ndarray  # background cars only
     pedestrian_positions: np.ndarray
 
+    def __post_init__(self):
+        self._fleet_cache: tuple[list[str], np.ndarray] | None = None
+
+    def _fleet(self) -> tuple[list[str], np.ndarray]:
+        """Vehicle ids and their stacked (n, 2) positions, built once."""
+        if self._fleet_cache is None:
+            ids = list(self.vehicle_states)
+            stack = (
+                np.array([self.vehicle_states[v].position for v in ids])
+                if ids
+                else np.zeros((0, 2))
+            )
+            self._fleet_cache = (ids, stack)
+        return self._fleet_cache
+
     def other_car_positions(self, vehicle_id: str) -> np.ndarray:
         """All cars except ``vehicle_id``: remaining fleet + background."""
-        fleet = [
-            s.position for vid, s in self.vehicle_states.items() if vid != vehicle_id
-        ]
-        fleet_arr = np.array(fleet) if fleet else np.zeros((0, 2))
-        return np.vstack([fleet_arr, self.bg_car_positions])
+        ids, fleet = self._fleet()
+        try:
+            k = ids.index(vehicle_id)
+        except ValueError:
+            return np.vstack([fleet, self.bg_car_positions])
+        return np.vstack([fleet[:k], fleet[k + 1 :], self.bg_car_positions])
 
 
 class World:
@@ -123,6 +140,16 @@ class World:
             ped_district_weights=self._ped_district_weights(),
             n_districts=config.n_districts,
         )
+        # Struct-of-arrays mirror of the fleet state, updated in place
+        # as each vehicle advances (vehicles only move inside step()).
+        self._fleet_pos = np.array(
+            [v.state.position for v in self.vehicles], dtype=float
+        ).reshape(-1, 2)
+        self._fleet_speed = np.array(
+            [v.state.speed for v in self.vehicles], dtype=float
+        )
+        self._fleet_pos_view = self._fleet_pos.view()
+        self._fleet_pos_view.flags.writeable = False
 
     def _district_nodes(self, district: int) -> list | None:
         if self.config.n_districts <= 1:
@@ -150,10 +177,8 @@ class World:
     # -- stepping ----------------------------------------------------------
 
     def vehicle_positions(self) -> np.ndarray:
-        """(n, 2) array of the fleet's current positions."""
-        if not self.vehicles:
-            return np.zeros((0, 2))
-        return np.array([v.state.position for v in self.vehicles])
+        """(n, 2) array of the fleet's current positions (read-only view)."""
+        return self._fleet_pos_view
 
     def all_car_positions(self) -> np.ndarray:
         """Expert fleet plus background cars, stacked."""
@@ -162,20 +187,38 @@ class World:
     def step(self) -> None:
         """Advance the world by one control timestep."""
         dt = self.config.dt
-        fleet_pos = self.vehicle_positions()
-        bg_cars = self.traffic.car_positions()
-        peds = self.traffic.pedestrian_positions()
-        everything = np.vstack([fleet_pos, bg_cars, peds])
+        # Pre-step positions of every agent: the vstack copies out of
+        # the live mirrors, so all vehicles this tick react to where the
+        # others *were*, even after earlier vehicles have advanced.
+        everything = np.vstack(
+            [
+                self._fleet_pos,
+                self.traffic.car_positions(),
+                self.traffic.pedestrian_positions(),
+            ]
+        )
+        grid = SpatialGrid(everything)
+        # One batched road-occupancy lookup shared by the whole tick
+        # (the per-row results equal each query's own candidate lookup).
+        on_road = self.town.occupancy_at(everything)
         for i, vehicle in enumerate(self.vehicles):
             if vehicle.pilot.done():
                 self._assign_new_route(vehicle)
-            mask = np.ones(len(everything), dtype=bool)
-            mask[i] = False
-            near = road_obstacles(self.town, everything[mask], vehicle.state.position)
+            near = road_obstacles(
+                self.town,
+                everything,
+                everything[i],
+                grid=grid,
+                exclude=i,
+                on_road=on_road,
+            )
             turn_rate, accel = vehicle.pilot.control(vehicle.state, near, dt=dt)
             vehicle.state = advance(vehicle.state, turn_rate, accel, dt)
-        fleet_speeds = np.array([v.state.speed for v in self.vehicles])
-        self.traffic.step(fleet_pos, dt, extra_speeds=fleet_speeds)
+            self._fleet_pos[i, 0] = vehicle.state.x
+            self._fleet_pos[i, 1] = vehicle.state.y
+            self._fleet_speed[i] = vehicle.state.speed
+        n = len(self.vehicles)
+        self.traffic.step(everything[:n], dt, extra_speeds=self._fleet_speed)
         self.time += dt
         self._since_snapshot += dt
         if self._since_snapshot >= self.config.snapshot_interval - 1e-9:
@@ -206,8 +249,9 @@ class World:
                 vehicle_states={v.vehicle_id: v.state.copy() for v in self.vehicles},
                 vehicle_commands={v.vehicle_id: v.pilot.command() for v in self.vehicles},
                 vehicle_plans={v.vehicle_id: v.plan for v in self.vehicles},
-                bg_car_positions=self.traffic.car_positions(),
-                pedestrian_positions=self.traffic.pedestrian_positions(),
+                # Snapshots outlive the tick; copy out of the live views.
+                bg_car_positions=self.traffic.car_positions().copy(),
+                pedestrian_positions=self.traffic.pedestrian_positions().copy(),
             )
         )
 

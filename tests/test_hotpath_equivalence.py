@@ -112,6 +112,63 @@ def _loss_record(node: VehicleNode) -> dict:
     return out
 
 
+#: Small-but-busy world for the stepping golden: multiple route renewals
+#: (nearest_node), car/car and car/pedestrian interactions, curb waits.
+WORLD_SEGMENT_CONFIG = dict(
+    map_size=400.0,
+    grid_n=3,
+    n_vehicles=4,
+    n_background_cars=6,
+    n_pedestrians=12,
+    seed=5,
+    min_route_length=60.0,
+)
+
+
+def _world_segment_record() -> dict:
+    """Digest a world-stepping segment plus one dataset collection.
+
+    Covers the simulation hot path end to end: ``World.step`` /
+    ``TrafficManager.step`` neighbor queries, autopilot control, route
+    renewal, snapshotting, and ``collect_fleet_datasets`` (BEV
+    rendering + waypoint labelling).
+    """
+    from repro.sim.bev import BevSpec
+    from repro.sim.dataset import collect_fleet_datasets
+    from repro.sim.world import World, WorldConfig
+
+    world = World(WorldConfig(**WORLD_SEGMENT_CONFIG))
+    world.run(30.0)
+    fleet = np.array(
+        [
+            [s.x, s.y, s.heading, s.speed]
+            for snap in world.snapshots
+            for s in snap.vehicle_states.values()
+        ]
+    )
+    cars = np.vstack([snap.bg_car_positions for snap in world.snapshots])
+    peds = np.vstack([snap.pedestrian_positions for snap in world.snapshots])
+    out = {
+        "n_snapshots": len(world.snapshots),
+        "fleet_digest": _sha(np.ascontiguousarray(fleet, dtype=np.float64).tobytes()),
+        "cars_digest": _sha(np.ascontiguousarray(cars, dtype=np.float64).tobytes()),
+        "peds_digest": _sha(np.ascontiguousarray(peds, dtype=np.float64).tobytes()),
+        "fleet_tail": fleet[-1].tolist(),
+    }
+    world = World(WorldConfig(**WORLD_SEGMENT_CONFIG))
+    datasets = collect_fleet_datasets(
+        world, 10.0, BevSpec(grid=12, cell=2.5), n_waypoints=3
+    )
+    blobs: list[bytes] = []
+    for vid in sorted(datasets):
+        bev, commands, targets, _ = datasets[vid].arrays()
+        blobs.extend(
+            np.ascontiguousarray(a).tobytes() for a in (bev, commands, targets)
+        )
+    out["collection_digest"] = _sha(*blobs)
+    return out
+
+
 def _record() -> None:
     """Re-record the expectations file (run on a tree whose behaviour
     is the intended baseline)."""
@@ -119,6 +176,7 @@ def _record() -> None:
     payload = {
         "sample_batch": _sample_batch_record(dataset),
         "per_sample_losses": _loss_record(make_synthetic_node(dataset)),
+        "world_segment": _world_segment_record(),
     }
     EXPECTATIONS_PATH.parent.mkdir(exist_ok=True)
     EXPECTATIONS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -192,6 +250,25 @@ class TestLossCacheBounded:
             assert node.loss_cache_size <= len(node.dataset)
         # The old dict would have held every id ever seen (>480 here).
         assert node.loss_cache_size == len(node.dataset)
+
+
+class TestWorldSegmentDeterminism:
+    """World stepping reproduces the pre-rewrite (brute-force) golden.
+
+    The spatial-grid neighbor queries return a candidate superset that
+    is then filtered by the exact distance test in original index order,
+    and the struct-of-arrays agent state / batched BEV rendering compute
+    the same elementwise arithmetic — so stepping and collection must be
+    bit-identical to the recorded O(n^2) baseline.
+    """
+
+    def test_matches_recorded(self, expectations):
+        got = _world_segment_record()
+        want = expectations["world_segment"]
+        assert got["n_snapshots"] == want["n_snapshots"]
+        assert got["fleet_tail"] == pytest.approx(want["fleet_tail"], rel=0, abs=0)
+        for key in ("fleet_digest", "cars_digest", "peds_digest", "collection_digest"):
+            assert got[key] == want[key], key
 
 
 class TestRunMethodBitIdentity:

@@ -1,0 +1,120 @@
+"""Property tests for the spatial-hash grid.
+
+The grid's contract is exact: grid-backed ``road_obstacles`` (and
+``SpatialGrid.query_radius``) must return *precisely* what the
+brute-force distance scan returns — same elements, same order — because
+full simulation runs are gated on bit-identity with the pre-grid
+goldens.  Hypothesis drives randomized agent layouts, query centers,
+radii, and cell sizes through both paths.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.sim.map import TownMap
+from repro.sim.spatial import SpatialGrid
+from repro.sim.traffic import road_obstacles
+
+
+@st.composite
+def grid_cases(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    size = draw(st.floats(min_value=10.0, max_value=2000.0))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    radius = draw(st.floats(min_value=0.1, max_value=300.0))
+    cell = draw(st.floats(min_value=0.5, max_value=200.0))
+    rng = np.random.default_rng(seed)
+    # Mostly in-map points, some flung outside (agents are not clipped
+    # to the map during simulation).
+    positions = rng.uniform(-0.2 * size, 1.2 * size, size=(n, 2))
+    center = rng.uniform(-0.2 * size, 1.2 * size, size=2)
+    return positions, center, radius, cell
+
+
+class TestQueryRadiusMatchesBruteForce:
+    @settings(max_examples=200, deadline=None)
+    @given(grid_cases())
+    def test_exact_indices(self, case):
+        positions, center, radius, cell = case
+        grid = SpatialGrid(positions, cell_size=cell)
+        got = grid.query_radius(center, radius)
+        if len(positions):
+            dist = np.linalg.norm(positions - center, axis=1)
+            want = np.nonzero(dist < radius)[0]
+        else:
+            want = np.zeros(0, dtype=np.intp)
+        np.testing.assert_array_equal(got, want)
+
+    @settings(max_examples=100, deadline=None)
+    @given(grid_cases())
+    def test_query_superset_is_sorted(self, case):
+        positions, center, radius, cell = case
+        idx = SpatialGrid(positions, cell_size=cell).query(center, radius)
+        assert np.all(np.diff(idx) > 0)  # strictly ascending, no dupes
+        # Superset: contains every true neighbor.
+        if len(positions):
+            dist = np.linalg.norm(positions - center, axis=1)
+            assert set(np.nonzero(dist < radius)[0]) <= set(idx.tolist())
+
+
+class TestRoadObstaclesGridEquivalence:
+    @pytest.fixture(scope="class")
+    def town(self):
+        return TownMap(size=300.0, grid_n=3, seed=1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=0, max_value=50),
+        radius=st.floats(min_value=1.0, max_value=120.0),
+        exclude=st.booleans(),
+    )
+    def test_same_elements_same_order(self, town, seed, n, radius, exclude):
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(0.0, town.size, size=(n, 2))
+        center = rng.uniform(0.0, town.size, size=2)
+        excl = int(rng.integers(n)) if exclude and n else None
+        grid = SpatialGrid(positions)
+        got = road_obstacles(town, positions, center, radius, grid=grid, exclude=excl)
+        want = road_obstacles(town, positions, center, radius, exclude=excl)
+        np.testing.assert_array_equal(got, want)
+
+    def test_matches_self_masked_brute_force(self, town):
+        # The pre-grid callers masked out the querying agent by hand;
+        # exclude= must select exactly that.
+        rng = np.random.default_rng(3)
+        positions = rng.uniform(0.0, town.size, size=(20, 2))
+        grid = SpatialGrid(positions)
+        for i in (0, 7, 19):
+            mask = np.ones(len(positions), dtype=bool)
+            mask[i] = False
+            want = road_obstacles(town, positions[mask], positions[i])
+            got = road_obstacles(town, positions, positions[i], grid=grid, exclude=i)
+            np.testing.assert_array_equal(got, want)
+
+    def test_empty_and_edge_cases(self, town):
+        empty = np.zeros((0, 2))
+        grid = SpatialGrid(empty)
+        assert road_obstacles(town, empty, np.array([10.0, 10.0]), grid=grid).shape == (0, 2)
+        assert grid.query(np.array([5.0, 5.0]), 10.0).shape == (0,)
+        # Query disk entirely off the populated area.
+        positions = np.array([[10.0, 10.0], [12.0, 10.0]])
+        grid = SpatialGrid(positions)
+        far = grid.query_radius(np.array([290.0, 290.0]), 5.0)
+        assert far.shape == (0,)
+        # Center on the map edge still sees edge agents.
+        edge = grid.query_radius(np.array([0.0, 10.0]), 15.0)
+        np.testing.assert_array_equal(edge, [0, 1])
+
+    def test_brute_fallback_on_huge_extent(self):
+        # A stray far-away point makes the bucket table absurd; the grid
+        # must degrade to brute force, not allocate it.
+        positions = np.array([[0.0, 0.0], [1.0, 1.0], [1e9, 1e9]])
+        grid = SpatialGrid(positions, cell_size=1.0)
+        np.testing.assert_array_equal(
+            grid.query_radius(np.array([0.5, 0.5]), 2.0), [0, 1]
+        )
