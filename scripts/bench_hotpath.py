@@ -16,6 +16,15 @@ executes after context building) on the hotpath-smoke world and on the
 paper world (32 vehicles, 1 km map) with a shortened training horizon
 so a single timing run stays tractable.
 
+``--suite checkpoint`` measures the barrier-checkpointing subsystem
+(ISSUE 6) on the hotpath-smoke world: an identical run with and without
+checkpointing, the per-barrier snapshot/save cost, resume latency, and
+bytes on disk per checkpoint — the artifact behind
+``BENCH_checkpoint.json``:
+
+    PYTHONPATH=src python scripts/bench_hotpath.py --suite checkpoint \
+        --out BENCH_checkpoint.json
+
 ``--suite worldsim`` instead times the world-simulation hot path at
 paper scale (332 agents): ``World.step``, one tick's worth of
 ``road_obstacles`` neighbor queries, ``render_bev``, per-snapshot fleet
@@ -249,6 +258,60 @@ def bench_worldsim() -> dict[str, float]:
     return out
 
 
+def bench_checkpoint() -> dict[str, float]:
+    """Barrier-checkpointing overhead on the hotpath-smoke world."""
+    import tempfile
+    from dataclasses import replace
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from hotpath_smoke import build_scale
+
+    from repro.checkpoint import RunStore
+    from repro.experiments.runner import RunSpec, build_context, run_method
+
+    out: dict[str, float] = {}
+    context = build_context(build_scale())
+    root = Path(tempfile.mkdtemp(prefix="bench-checkpoint-"))
+
+    plain = RunSpec.for_context(context, "LbChat", wireless=True, seed=3)
+    t0 = time.perf_counter()
+    run_method(context, plain)
+    out["run_plain_s"] = time.perf_counter() - t0
+
+    # Same spec with three barriers on the 40 s training horizon.
+    ckpt = replace(plain, checkpoint_every=10.0, checkpoint_dir=str(root))
+    t0 = time.perf_counter()
+    result = run_method(context, ckpt)
+    out["run_checkpointed_s"] = time.perf_counter() - t0
+    out["checkpoint_overhead_s"] = out["run_checkpointed_s"] - out["run_plain_s"]
+
+    store = RunStore(root)
+    barriers = store.barriers(ckpt)
+    out["n_checkpoints"] = float(len(barriers))
+    ckpt_bytes = sum(
+        p.stat().st_size for p in store.run_dir(ckpt).glob("ckpt-*")
+    )
+    out["checkpoint_bytes_per_barrier"] = ckpt_bytes / max(1, len(barriers))
+
+    # Per-barrier costs, isolated: snapshotting the live state tree vs
+    # compressing + committing it to disk (scratch store, overwritten).
+    trainer = result.trainer
+    scratch = RunStore(root / "scratch")
+    state = trainer.checkpoint_barrier(9)
+    out["snapshot_state_s"] = _time(trainer.snapshot, repeat=10)
+    out["save_checkpoint_s"] = _time(
+        lambda: scratch.save_checkpoint(ckpt, dict(state)), repeat=10
+    )
+
+    # Crash recovery: rewind to barrier 2 and run the remaining 20
+    # virtual seconds (restore cost + half the training horizon).
+    store.drop_after(ckpt, 2)
+    t0 = time.perf_counter()
+    run_method(context, ckpt)
+    out["resume_from_barrier2_s"] = time.perf_counter() - t0
+    return out
+
+
 _SUITE_DESCRIPTIONS = {
     "components": (
         "Data-layer/evaluation hot-path timings before and after the "
@@ -266,6 +329,18 @@ _SUITE_DESCRIPTIONS = {
         "one 10 Hz control tick; road_obstacles_fleet_s is one tick's "
         "worth of fleet neighbor queries; paper_context_build_s is the "
         "full §IV-A context build (120 s collection + 400 s traces)."
+    ),
+    "checkpoint": (
+        "Barrier-checkpointing overhead (ISSUE 6) on the hotpath-smoke "
+        "world (3 vehicles, 40 s training horizon, barriers every 10 "
+        "virtual seconds). run_plain_s vs run_checkpointed_s is the "
+        "end-to-end cost of opting in; snapshot_state_s and "
+        "save_checkpoint_s split one barrier into capture vs "
+        "compress-and-commit; resume_from_barrier2_s is restore plus "
+        "the remaining half of the horizon. Checkpointed runs reseed "
+        "RNG streams at each barrier, so the plain and checkpointed "
+        "runs are different (equally valid) runs — the comparison is "
+        "about wall-clock cost, not outputs."
     ),
 }
 
@@ -297,9 +372,10 @@ def main() -> int:
     parser.add_argument(
         "--suite",
         default="components",
-        choices=("components", "worldsim"),
+        choices=("components", "worldsim", "checkpoint"),
         help="components: ISSUE 4 data-layer suite; worldsim: ISSUE 5 "
-        "paper-scale world-simulation suite (includes paper_context_build)",
+        "paper-scale world-simulation suite (includes paper_context_build); "
+        "checkpoint: ISSUE 6 barrier-checkpointing overhead suite",
     )
     parser.add_argument("--merge", nargs=2, metavar=("BEFORE", "AFTER"))
     args = parser.parse_args()
@@ -312,11 +388,18 @@ def main() -> int:
 
     if args.suite == "worldsim":
         timings = bench_worldsim()
+    elif args.suite == "checkpoint":
+        timings = bench_checkpoint()
     else:
         timings = bench_components()
         if args.e2e != "none":
             timings.update(bench_end_to_end(args.e2e))
-    payload = {"label": args.label, "suite": args.suite, "timings": timings}
+    payload = {
+        "label": args.label,
+        "suite": args.suite,
+        "description": _SUITE_DESCRIPTIONS[args.suite],
+        "timings": timings,
+    }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     return 0

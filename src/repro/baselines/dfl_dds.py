@@ -49,16 +49,30 @@ class DflDdsTrainer(TrainerBase):
         self.source_counts = np.zeros((n, n))
         for i in range(n):
             self.source_counts[i, i] = 1.0
+        self._next_round = self.config.round_interval
 
     # Vehicles do not exchange on scan — only at round boundaries.
     def on_scan(self, i: int) -> None:
         """No-op: DFL-DDS only exchanges at round boundaries."""
         return
 
-    def _round_process(self):
-        while self.sim.now < self.config.duration:
-            yield self.sim.timeout(self.config.round_interval)
+    def _round_process(self, resume: bool = False):
+        # Yield-first loop, unrolled like ProxSkip's so a resumed round
+        # clock re-arms at the exact absolute fire time.
+        cfg = self.config
+        if resume:
+            yield self.sim.wait_until(self._next_round)
+        else:
+            if self.sim.now >= cfg.duration:
+                return
+            self._next_round = self.sim.now + cfg.round_interval
+            yield self.sim.timeout(cfg.round_interval)
+        while True:
             self._run_round()
+            if self.sim.now >= cfg.duration:
+                return
+            self._next_round = self.sim.now + cfg.round_interval
+            yield self.sim.timeout(cfg.round_interval)
 
     def _run_round(self) -> None:
         self.counters.add("rounds")
@@ -158,3 +172,17 @@ class DflDdsTrainer(TrainerBase):
     def extra_processes(self):
         """The global round-boundary clock process."""
         return [self._round_process()]
+
+    def extra_activities(self, resume: bool = False):
+        armed_at = self._next_round - self.config.round_interval
+        return [(armed_at, self._round_process(resume=resume))]
+
+    def extra_state(self) -> dict:
+        return {
+            "next_round": self._next_round,
+            "source_counts": self.source_counts.copy(),
+        }
+
+    def restore_extra(self, state) -> None:
+        self._next_round = float(state["next_round"])
+        self.source_counts = np.asarray(state["source_counts"], dtype=float).copy()

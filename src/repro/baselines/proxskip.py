@@ -45,6 +45,7 @@ class ProxSkipTrainer(TrainerBase):
         self.config: ProxSkipConfig
         self._rng = spawn_rng(self.config.seed, "proxskip-server")
         self._loss_values = np.array([row[1] for row in DEFAULT_LOSS_TABLE])
+        self._next_round = self.config.round_interval
 
     def _link_succeeds(self) -> bool:
         """One backend link attempt under uniformly-sampled wireless loss."""
@@ -53,12 +54,26 @@ class ProxSkipTrainer(TrainerBase):
         loss = float(self._rng.choice(self._loss_values))
         return bool(self._rng.uniform() > loss)
 
-    def _server_process(self):
-        while self.sim.now < self.config.duration:
-            yield self.sim.timeout(self.config.round_interval)
-            if self._rng.uniform() > self.config.sync_probability:
-                continue  # ProxSkip skips this synchronization
-            self._synchronize()
+    def _server_process(self, resume: bool = False):
+        # Yield-first loop, unrolled so a resumed process can re-arm its
+        # pending round timer at the exact absolute time (the round body
+        # and the duration check keep their original relative order).
+        cfg = self.config
+        if resume:
+            yield self.sim.wait_until(self._next_round)
+        else:
+            if self.sim.now >= cfg.duration:
+                return
+            self._next_round = self.sim.now + cfg.round_interval
+            yield self.sim.timeout(cfg.round_interval)
+        while True:
+            if self._rng.uniform() <= cfg.sync_probability:
+                self._synchronize()
+            # (a skipped draw is ProxSkip skipping this synchronization)
+            if self.sim.now >= cfg.duration:
+                return
+            self._next_round = self.sim.now + cfg.round_interval
+            yield self.sim.timeout(cfg.round_interval)
 
     def _synchronize(self) -> None:
         uploads = []
@@ -78,3 +93,16 @@ class ProxSkipTrainer(TrainerBase):
     def extra_processes(self):
         """The server's synchronization round process."""
         return [self._server_process()]
+
+    def extra_activities(self, resume: bool = False):
+        armed_at = self._next_round - self.config.round_interval
+        return [(armed_at, self._server_process(resume=resume))]
+
+    def extra_state(self) -> dict:
+        return {"next_round": self._next_round}
+
+    def restore_extra(self, state) -> None:
+        self._next_round = float(state["next_round"])
+
+    def _reseed_extra_streams(self, barrier: int) -> None:
+        self._rng = spawn_rng(self.config.seed, f"proxskip-server@ckpt{barrier}")

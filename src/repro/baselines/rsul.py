@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.trainer_base import TrainerBase, TrainerConfig
+from repro.engine.random import spawn_rng
 from repro.net.channel import simulate_transfer
 from repro.net.wireless import WirelessModel
 
@@ -79,7 +80,6 @@ class RsuLTrainer(TrainerBase):
     ):
         super().__init__(nodes, traces, validation, config or RsuLConfig())
         self.config: RsuLConfig
-        from repro.engine.random import spawn_rng
         from repro.net.wireless import DEFAULT_LOSS_TABLE
 
         self._rng = spawn_rng(self.config.seed, "rsul-links")
@@ -90,7 +90,7 @@ class RsuLTrainer(TrainerBase):
         self.rsus = [
             RoadSideUnit(f"rsu{k}", pos, init) for k, pos in enumerate(rsu_positions)
         ]
-        self._last_sync: dict[tuple[int, str], float] = {}
+        self._last_sync: dict[int, float] = {}
 
     def _default_positions(self) -> np.ndarray:
         """Spread RSUs over the area the traces actually cover."""
@@ -183,3 +183,33 @@ class RsuLTrainer(TrainerBase):
         else:
             self.receive_rate.observe(node.node_id, False)
         self.occupy(i, elapsed)
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def extra_state(self) -> dict:
+        items = sorted(self._last_sync.items())
+        return {
+            "rsus": [
+                {
+                    "params": rsu.params.copy(),
+                    "uploads": rsu.uploads,
+                    "recent": [params.copy() for params in rsu._recent],
+                }
+                for rsu in self.rsus
+            ],
+            "sync_vehicles": np.asarray([i for i, _ in items], dtype=np.int64),
+            "sync_times": np.asarray([t for _, t in items], dtype=float),
+        }
+
+    def restore_extra(self, state) -> None:
+        for rsu, rsu_state in zip(self.rsus, state["rsus"], strict=True):
+            rsu.params = np.asarray(rsu_state["params"]).copy()
+            rsu.uploads = int(rsu_state["uploads"])
+            rsu._recent = [np.asarray(p).copy() for p in rsu_state["recent"]]
+        self._last_sync = {
+            int(i): float(t)
+            for i, t in zip(state["sync_vehicles"], state["sync_times"])
+        }
+
+    def _reseed_extra_streams(self, barrier: int) -> None:
+        self._rng = spawn_rng(self.config.seed, f"rsul-links@ckpt{barrier}")

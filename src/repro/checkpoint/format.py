@@ -1,0 +1,119 @@
+"""Checkpoint format versioning, integrity errors, and spec payloads.
+
+A checkpoint on disk is two files — ``ckpt-NNNNNN.npz`` (the array
+table) plus ``ckpt-NNNNNN.json`` (the meta tree, format version, and
+the npz's SHA-256 content fingerprint).  The JSON sidecar is written
+last and is the commit point: a checkpoint without a readable sidecar,
+or whose npz hash does not match, does not exist as far as
+:meth:`~repro.checkpoint.store.RunStore.latest_checkpoint` is concerned.
+
+Run directories are keyed by a fingerprint of the :class:`RunSpec`:
+everything that influences the run's results, including
+``checkpoint_every`` (barrier reseeding makes the cadence part of the
+run's identity) but excluding ``checkpoint_dir``/``use_cache`` (where
+state lives and how contexts are resolved cannot change results).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "spec_payload",
+    "spec_fingerprint",
+    "spec_from_payload",
+    "file_sha256",
+]
+
+#: Bump when the on-disk checkpoint representation changes shape.
+FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Base error for checkpoint store and restore failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint's content fingerprint does not match its data."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """A checkpoint was written by an incompatible format version."""
+
+
+def file_sha256(path: str | Path) -> str:
+    """Hex SHA-256 of a file's bytes (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def spec_payload(spec) -> dict:
+    """A RunSpec as a JSON round-trippable dict.
+
+    Raises :class:`CheckpointError` when the spec carries overrides that
+    cannot be JSON-serialized — checkpointed runs must be rebuildable
+    from the stored payload alone (``repro resume <run-dir>``).
+    """
+    payload = {
+        "method": spec.method,
+        "scale": asdict(spec.scale),
+        "wireless": bool(spec.wireless),
+        "seed": int(spec.seed),
+        "coreset_size": spec.coreset_size,
+        "coreset_strategy": spec.coreset_strategy,
+        "overrides": dict(spec.overrides),
+        "use_cache": bool(spec.use_cache),
+        "checkpoint_every": spec.checkpoint_every,
+    }
+    try:
+        return json.loads(json.dumps(payload))
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            "checkpointed runs need JSON-serializable spec overrides: "
+            f"{exc}"
+        ) from exc
+
+
+def spec_fingerprint(spec) -> str:
+    """Deterministic hash of everything that influences the run's results."""
+    payload = spec_payload(spec)
+    del payload["use_cache"]  # context resolution strategy, not identity
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def spec_from_payload(payload: Mapping[str, Any], checkpoint_dir: str | None = None):
+    """Rebuild a RunSpec from :func:`spec_payload` output."""
+    from repro.coreset import PenaltyConfig
+    from repro.experiments.configs import ExperimentScale
+    from repro.experiments.runner import RunSpec
+    from repro.sim.bev import BevSpec
+    from repro.sim.world import WorldConfig
+
+    scale_kwargs = dict(payload["scale"])
+    scale_kwargs["world"] = WorldConfig(**scale_kwargs["world"])
+    scale_kwargs["bev"] = BevSpec(**scale_kwargs["bev"])
+    scale_kwargs["penalty"] = PenaltyConfig(**scale_kwargs["penalty"])
+    return RunSpec(
+        method=payload["method"],
+        scale=ExperimentScale(**scale_kwargs),
+        wireless=payload["wireless"],
+        seed=payload["seed"],
+        coreset_size=payload["coreset_size"],
+        coreset_strategy=payload["coreset_strategy"],
+        overrides=payload["overrides"],
+        use_cache=payload.get("use_cache", False),
+        checkpoint_every=payload["checkpoint_every"],
+        checkpoint_dir=checkpoint_dir,
+    )

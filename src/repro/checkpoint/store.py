@@ -1,0 +1,219 @@
+"""On-disk run store: atomic, versioned, content-fingerprinted.
+
+Layout, one directory per run under the store root::
+
+    <root>/<method-slug>-seed<seed>-<spec_fingerprint>/
+        run.json          # the spec payload (enables `repro resume`)
+        ckpt-000003.npz   # array table (one member per state array)
+        ckpt-000003.json  # meta tree + format version + npz SHA-256
+        events.jsonl      # advisory log: saved / resumed / corrupt
+        done.json         # present once the run finished
+
+Every write lands in a temp file first and is moved into place with
+``os.replace``, so a crash mid-write never leaves a half-written file
+under a checkpoint's name.  The ``.json`` sidecar is written after its
+``.npz`` and is the commit point; loading verifies the recorded SHA-256
+against the npz bytes and raises :class:`CheckpointCorruptError` on any
+mismatch, which :meth:`RunStore.latest_checkpoint` treats as "fall back
+to the next older checkpoint".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.checkpoint.format import (
+    FORMAT_VERSION,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+    file_sha256,
+    spec_fingerprint,
+    spec_payload,
+)
+from repro.checkpoint.state import flatten_state, unflatten_state
+
+__all__ = ["DEFAULT_CHECKPOINT_ROOT", "RunStore"]
+
+DEFAULT_CHECKPOINT_ROOT = Path(".repro_cache") / "checkpoints"
+
+
+def _slug(text: str) -> str:
+    return "".join(c if c.isalnum() else "-" for c in text.lower()).strip("-")
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+class RunStore:
+    """Checkpoint persistence for runs, keyed by spec fingerprint."""
+
+    def __init__(self, root: str | Path = DEFAULT_CHECKPOINT_ROOT):
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------------
+
+    def run_dir(self, spec) -> Path:
+        """The directory holding one spec's checkpoints."""
+        return self.root / f"{_slug(spec.method)}-seed{spec.seed}-{spec_fingerprint(spec)}"
+
+    def _ckpt_json(self, spec, barrier: int) -> Path:
+        return self.run_dir(spec) / f"ckpt-{barrier:06d}.json"
+
+    # -- run lifecycle -------------------------------------------------------
+
+    def ensure_run(self, spec) -> Path:
+        """Create the run directory and its ``run.json`` (idempotent)."""
+        run_dir = self.run_dir(spec)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        run_json = run_dir / "run.json"
+        if not run_json.exists():
+            payload = {
+                "format": FORMAT_VERSION,
+                "fingerprint": spec_fingerprint(spec),
+                "spec": spec_payload(spec),
+            }
+            _atomic_write_bytes(run_json, json.dumps(payload, indent=2).encode())
+        return run_dir
+
+    def mark_done(self, spec, virtual_time: float) -> None:
+        """Record that the run completed (resume becomes a no-op rerun)."""
+        payload = {"completed": True, "virtual_time": float(virtual_time)}
+        _atomic_write_bytes(
+            self.run_dir(spec) / "done.json", json.dumps(payload).encode()
+        )
+
+    def log_event(self, spec, event: str, **fields) -> None:
+        """Append one advisory line to the run's events log.
+
+        The log records store-side history (checkpoints saved, resumes,
+        corrupt files skipped) *outside* the run's measurable state, so
+        resumed and uninterrupted runs stay bit-identical while tests
+        and operators can still see that a resume happened.
+        """
+        line = json.dumps({"event": event, **fields}, sort_keys=True)
+        with open(self.run_dir(spec) / "events.jsonl", "a") as fh:
+            fh.write(line + "\n")
+
+    def events(self, spec) -> list[dict]:
+        """All logged events for a spec (empty when none)."""
+        path = self.run_dir(spec) / "events.jsonl"
+        if not path.exists():
+            return []
+        return [json.loads(line) for line in path.read_text().splitlines() if line]
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def save_checkpoint(self, spec, state: dict, keep: int | None = None) -> Path:
+        """Persist one barrier snapshot atomically; returns the sidecar path.
+
+        ``state`` must carry ``barrier`` and ``time`` entries (see
+        ``TrainerBase.checkpoint_barrier``).  With ``keep``, older
+        checkpoints beyond the ``keep`` most recent are pruned.
+        """
+        barrier = int(state["barrier"])
+        run_dir = self.ensure_run(spec)
+        meta, arrays = flatten_state(state)
+        npz_path = run_dir / f"ckpt-{barrier:06d}.npz"
+        tmp_npz = npz_path.with_name(npz_path.name + ".tmp")
+        with open(tmp_npz, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp_npz, npz_path)
+        payload = {
+            "format": FORMAT_VERSION,
+            "barrier": barrier,
+            "time": float(state["time"]),
+            "fingerprint": spec_fingerprint(spec),
+            "npz_sha256": file_sha256(npz_path),
+            "state": meta,
+        }
+        json_path = self._ckpt_json(spec, barrier)
+        _atomic_write_bytes(json_path, json.dumps(payload).encode())
+        self.log_event(spec, "saved", barrier=barrier, time=float(state["time"]))
+        if keep is not None:
+            self.prune(spec, keep)
+        return json_path
+
+    def load_checkpoint(self, spec, barrier: int) -> dict:
+        """Load and verify one barrier's snapshot; returns the state tree."""
+        json_path = self._ckpt_json(spec, barrier)
+        if not json_path.exists():
+            raise CheckpointError(f"no checkpoint at barrier {barrier}: {json_path}")
+        try:
+            payload = json.loads(json_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointCorruptError(f"unreadable sidecar {json_path}") from exc
+        version = payload.get("format")
+        if version != FORMAT_VERSION:
+            raise CheckpointVersionError(
+                f"checkpoint format {version} (supported: {FORMAT_VERSION})"
+            )
+        npz_path = json_path.with_suffix(".npz")
+        if not npz_path.exists():
+            raise CheckpointCorruptError(f"missing array table {npz_path}")
+        digest = file_sha256(npz_path)
+        if digest != payload["npz_sha256"]:
+            raise CheckpointCorruptError(
+                f"content fingerprint mismatch for {npz_path}"
+            )
+        with np.load(npz_path) as data:
+            arrays = {name: data[name] for name in data.files}
+        state = unflatten_state(payload["state"], arrays)
+        state["barrier"] = payload["barrier"]
+        return state
+
+    def barriers(self, spec) -> list[int]:
+        """Barrier indices with a committed sidecar, ascending."""
+        run_dir = self.run_dir(spec)
+        if not run_dir.is_dir():
+            return []
+        out = []
+        for path in run_dir.glob("ckpt-*.json"):
+            try:
+                out.append(int(path.stem.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        return sorted(out)
+
+    def latest_checkpoint(self, spec) -> dict | None:
+        """The newest checkpoint that verifies, or ``None``.
+
+        Corrupt or version-incompatible checkpoints are skipped (and
+        logged), falling back to the next older one — a torn write of
+        the newest checkpoint costs one barrier of progress, never the
+        whole run.
+        """
+        for barrier in reversed(self.barriers(spec)):
+            try:
+                return self.load_checkpoint(spec, barrier)
+            except CheckpointError as exc:
+                self.log_event(spec, "corrupt", barrier=barrier, error=str(exc))
+        return None
+
+    def prune(self, spec, keep: int) -> None:
+        """Delete all but the ``keep`` newest checkpoints."""
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1: {keep}")
+        for barrier in self.barriers(spec)[:-keep]:
+            self._ckpt_json(spec, barrier).unlink(missing_ok=True)
+            self._ckpt_json(spec, barrier).with_suffix(".npz").unlink(missing_ok=True)
+
+    def drop_after(self, spec, barrier: int) -> None:
+        """Delete checkpoints newer than ``barrier`` plus the done marker.
+
+        Rewinds a run directory to how it would look had the process
+        died right after saving ``barrier`` — the store-side face of a
+        crash, used by tests and the smoke gate.
+        """
+        for existing in self.barriers(spec):
+            if existing > barrier:
+                self._ckpt_json(spec, existing).unlink(missing_ok=True)
+                self._ckpt_json(spec, existing).with_suffix(".npz").unlink(missing_ok=True)
+        (self.run_dir(spec) / "done.json").unlink(missing_ok=True)

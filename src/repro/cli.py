@@ -7,6 +7,8 @@ Examples
     python -m repro scales
     python -m repro run --method LbChat --scale ci --wireless
     python -m repro run --method SCO --out sco.json --save-model sco.npz
+    python -m repro run --method LbChat --checkpoint-every 60
+    python -m repro resume .repro_cache/checkpoints/lbchat-seed1-0123456789abcdef
     python -m repro table 3 --scale ci
     python -m repro fig 2b
     python -m repro rates
@@ -48,6 +50,15 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         "--cache", action=argparse.BooleanOptionalAction, default=True,
         help="use the on-disk context cache",
     )
+    parser.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="SECONDS",
+        help="snapshot run state every N virtual seconds; an interrupted "
+        "run continues from the newest snapshot (repro resume <run-dir>)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="checkpoint store root (default .repro_cache/checkpoints)",
+    )
     _add_jobs_arg(parser)
 
 
@@ -64,7 +75,6 @@ def _cmd_scales(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments.io import save_run
     from repro.experiments.runner import RunSpec
     from repro.parallel import run_specs
 
@@ -76,11 +86,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         coreset_size=args.coreset_size,
         use_cache=args.cache,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
     )
     print(f"Training {args.method} (scale={args.scale}, wireless={args.wireless})...")
     result = run_specs([spec], jobs=args.jobs)[0]
+    _render_result(args, result)
+    return 0
+
+
+def _render_result(args: argparse.Namespace, result) -> None:
+    """Shared tail of the run/resume commands: curve, rate, artifacts."""
+    from repro.experiments.io import save_run
+
     grid, curve = result.loss_curve(11)
-    print(render_curves(f"{args.method}: fleet validation loss", grid, {args.method: curve}))
+    print(render_curves(f"{result.method}: fleet validation loss", grid, {result.method: curve}))
     print(f"receive rate: {100 * result.receive_rate:.1f}%")
     if args.out:
         save_run(result, args.out)
@@ -90,6 +110,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         save_model(result.nodes[0].model, args.save_model)
         print(f"model checkpoint written to {args.save_model}")
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.checkpoint import resume_run_dir
+
+    print(f"Resuming run from {args.run_dir}...")
+    result = resume_run_dir(args.run_dir)
+    _render_result(args, result)
     return 0
 
 
@@ -271,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="archive run results to JSON")
     p.add_argument("--save-model", default=None, help="write a model checkpoint (.npz)")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("resume", help="continue a checkpointed run from its run directory")
+    p.add_argument("run_dir", help="checkpoint run directory (contains run.json)")
+    p.add_argument("--out", default=None, help="archive run results to JSON")
+    p.add_argument("--save-model", default=None, help="write a model checkpoint (.npz)")
+    p.set_defaults(fn=_cmd_resume)
 
     p = sub.add_parser("table", help="reproduce a paper table")
     p.add_argument("number", choices=("2", "3", "4", "5", "6", "7"))

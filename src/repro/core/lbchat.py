@@ -13,7 +13,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.chat import estimated_chat_bytes, pairwise_chat
-from repro.core.trainer_base import TrainerBase, TrainerConfig
+from repro.core.trainer_base import (
+    TrainerBase,
+    TrainerConfig,
+    pair_times_from_state,
+    pair_times_state,
+)
 
 __all__ = ["LbChatConfig", "LbChatTrainer"]
 
@@ -164,3 +169,22 @@ class LbChatTrainer(TrainerBase):
             self.counters.add(
                 "frames_absorbed", outcome.absorbed_by_i + outcome.absorbed_by_j
             )
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def extra_state(self) -> dict:
+        from dataclasses import asdict
+
+        return {
+            "last_multicast": pair_times_state(self._last_multicast),
+            "chat_log": [asdict(record) for record in self.chat_log.records],
+        }
+
+    def restore_extra(self, state) -> None:
+        from repro.core.chatlog import ChatLog, ChatRecord
+
+        self._last_multicast = pair_times_from_state(state["last_multicast"])
+        log = ChatLog()
+        for record in state["chat_log"]:
+            log.append(ChatRecord(**record))
+        self.chat_log = log

@@ -374,3 +374,64 @@ class VehicleNode:
     def flat_params(self) -> np.ndarray:
         """The model's parameters as one flat vector (a copy)."""
         return get_flat_params(self.model)
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Full node state as a checkpointable tree.
+
+        The RNG is deliberately absent: trainers re-derive every stream
+        at checkpoint barriers (``spawn_rng(seed, f"node-{{id}}@ckpt{{k}}")``),
+        so no bit-generator state ever needs to round-trip through disk.
+        The loss cache *is* captured — which frames miss determines the
+        batch composition of the next evaluation, and BLAS accumulation
+        order (hence bit-identity) depends on it.
+        """
+        from repro.checkpoint.state import dataset_state
+
+        used = len(self._cache_slots)
+        cache_ids = sorted(self._cache_slots, key=self._cache_slots.__getitem__)
+        return {
+            "params": get_flat_params(self.model),
+            "optimizer": self.optimizer.snapshot(),
+            "model_version": self.model_version,
+            "train_steps": self.train_steps,
+            "steps_since_refresh": self._steps_since_refresh,
+            "dataset": dataset_state(self.dataset),
+            "coreset_data": dataset_state(self.coreset.data),
+            "coreset_source_weights": self.coreset.source_weights.copy(),
+            "cache_ids": cache_ids,
+            "cache_versions": self._cache_versions[:used].copy(),
+            "cache_values": self._cache_values[:used].copy(),
+        }
+
+    def restore(self, state) -> None:
+        """Overwrite all node state with a snapshot's contents.
+
+        The slot memo is *not* restored: it is a pure recomputation
+        cache keyed by dataset generation, and generation counters start
+        over in a resumed process — bumping the cache epoch invalidates
+        every stale memo instead.
+        """
+        from repro.checkpoint.state import dataset_from_state
+
+        set_flat_params(self.model, np.asarray(state["params"]))
+        self.optimizer.restore(state["optimizer"])
+        self.model_version = int(state["model_version"])
+        self.train_steps = int(state["train_steps"])
+        self._steps_since_refresh = int(state["steps_since_refresh"])
+        self.dataset = dataset_from_state(state["dataset"])
+        self.coreset = Coreset(
+            data=dataset_from_state(state["coreset_data"]),
+            source_weights=np.asarray(state["coreset_source_weights"], dtype=float),
+        )
+        cache_ids = [str(frame_id) for frame_id in state["cache_ids"]]
+        self._cache_slots = {frame_id: i for i, frame_id in enumerate(cache_ids)}
+        used = len(cache_ids)
+        capacity = max(64, used)
+        self._cache_versions = np.full(capacity, -1, dtype=np.int64)
+        self._cache_values = np.zeros(capacity)
+        self._cache_versions[:used] = np.asarray(state["cache_versions"], dtype=np.int64)
+        self._cache_values[:used] = np.asarray(state["cache_values"], dtype=float)
+        self._cache_epoch += 1
+        self._slot_memo.clear()

@@ -30,6 +30,7 @@ from repro.engine import (
     ReceiveRateRecorder,
     Simulator,
     TimeSeriesRecorder,
+    spawn_rng,
 )
 from repro.net.channel import ChannelConfig
 from repro.net.contact import ContactEstimate, estimate_contact
@@ -38,7 +39,23 @@ from repro.sim.dataset import DrivingDataset
 from repro.sim.traces import MobilityTraces
 from repro.telemetry import hooks as telemetry
 
-__all__ = ["TrainerConfig", "TrainerBase"]
+__all__ = ["TrainerConfig", "TrainerBase", "pair_times_state", "pair_times_from_state"]
+
+
+def pair_times_state(pairs: dict[tuple[int, int], float]) -> dict:
+    """A ``(i, j) -> time`` dict as a checkpointable pair of arrays."""
+    items = sorted(pairs.items())
+    return {
+        "pairs": np.asarray([key for key, _ in items], dtype=np.int64).reshape(-1, 2),
+        "times": np.asarray([value for _, value in items], dtype=float),
+    }
+
+
+def pair_times_from_state(state) -> dict[tuple[int, int], float]:
+    """Inverse of :func:`pair_times_state`."""
+    pairs = np.asarray(state["pairs"], dtype=np.int64).reshape(-1, 2)
+    times = np.asarray(state["times"], dtype=float)
+    return {(int(i), int(j)): float(t) for (i, j), t in zip(pairs, times)}
 
 
 @dataclass
@@ -93,6 +110,13 @@ class TrainerBase:
         self.counters = CounterSet()
         self.busy_until = np.zeros(len(nodes))
         self._last_chat: dict[tuple[int, int], float] = {}
+        # Externalized per-process timer state, so a checkpoint can
+        # re-arm every pending loop from absolute times (generators
+        # themselves cannot be serialized).
+        self.next_scan = np.zeros(len(nodes))
+        self._next_train = np.zeros(len(nodes))
+        self._next_record = 0.0
+        self._restored_at: float | None = None
         self.contention = None
         if config.track_contention:
             from repro.net.mac import ContentionTracker
@@ -168,7 +192,7 @@ class TrainerBase:
 
     # -- processes ------------------------------------------------------------
 
-    def _vehicle_process(self, i: int):
+    def _vehicle_process(self, i: int, resume: bool = False):
         """Algorithm 2 main loop for one vehicle (train + encounters).
 
         Local training runs continuously — the onboard GPU keeps
@@ -176,21 +200,30 @@ class TrainerBase:
         local training time; communication and computation overlap).
         The busy state gates *communication* only: a vehicle in a chat
         does not start or accept another chat.
+
+        With ``resume`` the loop first waits until the absolute time its
+        pending timer would have fired in the original run, then
+        proceeds exactly as if it had never been torn down.
         """
         cfg = self.config
         node = self.nodes[i]
-        next_scan = 0.0
+        if resume:
+            yield self.sim.wait_until(self._next_train[i])
         while self.sim.now < cfg.duration:
             node.train_step()
             self.counters.add("train_steps")
-            if self.sim.now >= next_scan and self.is_idle(i):
-                next_scan = self.sim.now + cfg.scan_interval
+            if self.sim.now >= self.next_scan[i] and self.is_idle(i):
+                self.next_scan[i] = self.sim.now + cfg.scan_interval
                 self.on_scan(i)
+            self._next_train[i] = self.sim.now + cfg.train_interval
             yield self.sim.timeout(cfg.train_interval)
 
-    def _recorder_process(self):
+    def _recorder_process(self, resume: bool = False):
+        if resume:
+            yield self.sim.wait_until(self._next_record)
         while self.sim.now <= self.config.duration:
             self.record_losses()
+            self._next_record = self.sim.now + self.config.record_interval
             yield self.sim.timeout(self.config.record_interval)
 
     # -- subclass hooks -----------------------------------------------------------
@@ -202,17 +235,133 @@ class TrainerBase:
         """Additional generator processes (servers, RSUs, round clocks)."""
         return []
 
+    def extra_activities(self, resume: bool = False) -> list:
+        """``(armed_at, generator)`` pairs for the extra processes.
+
+        ``armed_at`` is the virtual time the process's pending timer was
+        *created* — it decides heap tie-break order on resume (see
+        :meth:`run`).  Subclasses with resumable servers/round clocks
+        override this alongside :meth:`extra_state`/:meth:`restore_extra`.
+        """
+        return [(self.sim.now, gen) for gen in self.extra_processes()]
+
+    def extra_state(self) -> dict:
+        """Subclass-owned state to include in checkpoints."""
+        return {}
+
+    def restore_extra(self, state) -> None:
+        """Restore what :meth:`extra_state` captured."""
+
+    def _reseed_extra_streams(self, barrier: int) -> None:
+        """Re-derive subclass RNG streams at a checkpoint barrier."""
+
     # -- entry point -----------------------------------------------------------
 
-    def run(self) -> None:
-        """Execute the experiment until ``config.duration``."""
+    def run(self, checkpointer=None) -> None:
+        """Execute the experiment until ``config.duration``.
+
+        With a :class:`~repro.checkpoint.policy.Checkpointer`, barrier
+        snapshots are armed *before* any process so that at a barrier
+        instant the snapshot callback always dispatches ahead of
+        same-time timer events (it holds a lower sequence number).
+
+        On a resumed trainer (:meth:`restore` was called), processes are
+        re-created and sorted by ``(armed_at, creation index)`` — the
+        order their pending timers entered the original heap — so ties
+        at the next fire instant dispatch exactly as the uninterrupted
+        run would have dispatched them.
+        """
         telemetry.on_run_started(self)
+        if checkpointer is not None:
+            checkpointer.schedule(self)
+        cfg = self.config
+        resume = self._restored_at is not None
+        activities: list[tuple[float, int, object]] = []
         for i in range(len(self.nodes)):
-            self.sim.process(self._vehicle_process(i))
-        self.sim.process(self._recorder_process())
-        for gen in self.extra_processes():
+            armed_at = self._next_train[i] - cfg.train_interval
+            activities.append(
+                (armed_at, len(activities), self._vehicle_process(i, resume=resume))
+            )
+        activities.append(
+            (
+                self._next_record - cfg.record_interval,
+                len(activities),
+                self._recorder_process(resume=resume),
+            )
+        )
+        for armed_at, gen in self.extra_activities(resume):
+            activities.append((armed_at, len(activities), gen))
+        if resume:
+            activities.sort(key=lambda item: (item[0], item[1]))
+        for _, _, gen in activities:
             self.sim.process(gen)
-        self.sim.run(until=self.config.duration)
+        self.sim.run(until=cfg.duration)
         # Final snapshot so curves end exactly at T.
         self.record_losses()
         telemetry.on_run_finished(self)
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def checkpoint_barrier(self, barrier: int) -> dict:
+        """Reseed RNG streams, then snapshot (the per-barrier protocol).
+
+        Reseeding happens in *every* checkpointed run at *every*
+        barrier, interrupted or not — a resumed run re-derives the same
+        streams from ``(seed, name, barrier)`` alone, so no generator
+        state needs to be serialized mid-stream.
+        """
+        self.reseed_streams(barrier)
+        state = self.snapshot()
+        state["barrier"] = barrier
+        return state
+
+    def reseed_streams(self, barrier: int) -> None:
+        """Re-derive every named RNG stream for the given barrier index."""
+        for node in self.nodes:
+            node.rng = spawn_rng(self.config.seed, f"node-{node.node_id}@ckpt{barrier}")
+        self._reseed_extra_streams(barrier)
+
+    def snapshot(self) -> dict:
+        """Full trainer state as a checkpointable tree (a pure read)."""
+        state = {
+            "time": self.sim.now,
+            "nodes": [node.snapshot() for node in self.nodes],
+            "busy_until": self.busy_until.copy(),
+            "next_train": self._next_train.copy(),
+            "next_scan": self.next_scan.copy(),
+            "next_record": self._next_record,
+            "last_chat": pair_times_state(self._last_chat),
+            "loss_curve": self.loss_curve.snapshot(),
+            "receive_rate": self.receive_rate.snapshot(),
+            "counters": self.counters.snapshot(),
+            "extra": self.extra_state(),
+        }
+        session = telemetry.active()
+        state["telemetry"] = session.registry.state() if session is not None else None
+        return state
+
+    def restore(self, state) -> None:
+        """Load a barrier snapshot into this (freshly built) trainer.
+
+        Must be called before :meth:`run`; the saved telemetry registry
+        state is merged into the active session so counters accumulated
+        before the interruption are not lost.
+        """
+        barrier = int(state["barrier"])
+        self.sim.advance_to(float(state["time"]))
+        for node, node_state in zip(self.nodes, state["nodes"], strict=True):
+            node.restore(node_state)
+        self.busy_until = np.asarray(state["busy_until"], dtype=float).copy()
+        self._next_train = np.asarray(state["next_train"], dtype=float).copy()
+        self.next_scan = np.asarray(state["next_scan"], dtype=float).copy()
+        self._next_record = float(state["next_record"])
+        self._last_chat = pair_times_from_state(state["last_chat"])
+        self.loss_curve.restore(state["loss_curve"])
+        self.receive_rate.restore(state["receive_rate"])
+        self.counters.restore(state["counters"])
+        self.reseed_streams(barrier)
+        self.restore_extra(state["extra"])
+        session = telemetry.active()
+        if session is not None and state.get("telemetry") is not None:
+            session.registry.merge_state(state["telemetry"])
+        self._restored_at = self.sim.now

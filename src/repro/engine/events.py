@@ -224,6 +224,18 @@ class Simulator:
         """Create an event firing ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
+    def wait_until(self, when: float, value: Any = None) -> Event:
+        """Create an event firing at *absolute* virtual time ``when``.
+
+        Semantically ``timeout(when - now)``, but the fire time is the
+        exact float given — no ``now + (when - now)`` round trip — so a
+        restored process re-arms its pending timer at the identical
+        instant the original run scheduled it.
+        """
+        event = Event(self)
+        self._schedule_at(when, lambda: None if event.triggered else event.succeed(value))
+        return event
+
     def process(self, gen: Generator[Event, Any, Any]) -> Process:
         """Start a generator as a concurrent process."""
         return Process(self, gen)
@@ -276,6 +288,18 @@ class Simulator:
         if not events:
             done.succeed(None)
         return done
+
+    def advance_to(self, when: float) -> None:
+        """Jump the idle clock forward to ``when`` (checkpoint restore).
+
+        Only legal while no events are pending: restoring a snapshot
+        sets the clock first, then re-arms processes at absolute times.
+        """
+        if self._heap:
+            raise RuntimeError("cannot advance a simulator with pending events")
+        if when < self._now:
+            raise ValueError(f"cannot advance backwards: {when} < {self._now}")
+        self._now = float(when)
 
     # -- execution ---------------------------------------------------------
 

@@ -81,6 +81,28 @@ class TimeSeriesRecorder:
             raise ValueError("no series recorded")
         return float(np.mean([v[-1] for v in self._values.values()]))
 
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All series as arrays, keyed by series key (checkpoint state)."""
+        return {
+            key: {
+                "times": np.asarray(self._times[key], dtype=np.float64),
+                "values": np.asarray(self._values[key], dtype=np.float64),
+            }
+            # Insertion order, not sorted: restore must reproduce the
+            # original dict order so archived output is byte-identical.
+            for key in self._times
+        }
+
+    def restore(self, state: dict) -> None:
+        """Replace all series with a :meth:`snapshot`'s contents."""
+        self._times = defaultdict(list)
+        self._values = defaultdict(list)
+        for key, series in state.items():
+            self._times[key] = [float(t) for t in series["times"]]
+            self._values[key] = [float(v) for v in series["values"]]
+
 
 @dataclass
 class ReceiveRateRecorder:
@@ -113,6 +135,22 @@ class ReceiveRateRecorder:
         attempted, completed = self._per_key[key]
         return completed / attempted if attempted else 0.0
 
+    def snapshot(self) -> dict:
+        """Plain-data contents (checkpoint state)."""
+        return {
+            "attempted": int(self.attempted),
+            "completed": int(self.completed),
+            "per_key": {k: list(v) for k, v in self._per_key.items()},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Replace contents with a :meth:`snapshot`'s."""
+        self.attempted = int(state["attempted"])
+        self.completed = int(state["completed"])
+        self._per_key = defaultdict(lambda: [0, 0])
+        for key, (attempted, completed) in state["per_key"].items():
+            self._per_key[key] = [int(attempted), int(completed)]
+
 
 class CounterSet:
     """Named monotonically increasing counters (bytes sent, chats, ...)."""
@@ -133,3 +171,13 @@ class CounterSet:
     def as_dict(self) -> dict[str, float]:
         """Snapshot of all counters as a plain dict."""
         return dict(self._counts)
+
+    def snapshot(self) -> dict:
+        """Plain-data contents (checkpoint state)."""
+        return dict(self._counts)
+
+    def restore(self, state: dict) -> None:
+        """Replace contents with a :meth:`snapshot`'s."""
+        self._counts = defaultdict(float)
+        for name, value in state.items():
+            self._counts[name] = float(value)

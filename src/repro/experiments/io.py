@@ -106,7 +106,11 @@ def save_run(result: RunResult, path: str | Path, n_points: int = 41) -> None:
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, default=float))
+    # Atomic, like the context cache above: a crash mid-write must not
+    # leave a truncated archive under the final name.
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, default=float))
+    tmp.replace(path)
 
 
 def load_run(path: str | Path) -> dict:

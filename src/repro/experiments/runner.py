@@ -61,6 +61,7 @@ __all__ = [
     "make_nodes",
     "make_config",
     "make_trainer",
+    "prepare_trainer",
     "run_method",
     "online_evaluate",
 ]
@@ -103,6 +104,15 @@ class RunSpec:
     the method's config class via :func:`make_config`); ``use_cache``
     lets workers resolve the context through the on-disk cache instead
     of rebuilding it.
+
+    ``checkpoint_every`` opts the run into barrier checkpointing (see
+    :mod:`repro.checkpoint`): state is snapshotted every that many
+    virtual seconds and a crashed/retried run resumes from the newest
+    snapshot.  RNG streams are re-derived at every barrier, so the
+    cadence is part of the run's identity — a checkpointed run is a
+    *different* (equally valid) run than a non-checkpointed one.
+    ``checkpoint_dir`` only says where snapshots live and does not
+    affect results.
     """
 
     method: str
@@ -113,11 +123,17 @@ class RunSpec:
     coreset_strategy: str | None = None
     overrides: Mapping[str, Any] = field(default_factory=dict)
     use_cache: bool = False
+    checkpoint_every: float | None = None
+    checkpoint_dir: str | None = None
 
     def __post_init__(self):
         if self.method not in METHOD_NAMES:
             raise ValueError(
                 f"unknown method {self.method!r}; choose from {METHOD_NAMES}"
+            )
+        if self.checkpoint_every is not None and not self.checkpoint_every > 0:
+            raise ValueError(
+                f"checkpoint_every must be positive: {self.checkpoint_every}"
             )
         object.__setattr__(self, "overrides", dict(self.overrides))
 
@@ -374,6 +390,25 @@ def run_method(context: ExperimentContext, spec, /, **legacy_kwargs) -> RunResul
     elif legacy_kwargs:
         raise TypeError("run_method(context, spec) takes no extra keyword arguments")
 
+    if spec.checkpoint_every is not None:
+        from repro.checkpoint.resume import run_with_checkpoints
+
+        return run_with_checkpoints(context, spec)
+
+    nodes, trainer = prepare_trainer(context, spec)
+    trainer.run()
+    return RunResult.from_trainer(spec, trainer, nodes)
+
+
+def prepare_trainer(
+    context: ExperimentContext, spec: RunSpec
+) -> tuple[list[VehicleNode], TrainerBase]:
+    """Build the (nodes, trainer) pair a spec describes, ready to run.
+
+    Split out of :func:`run_method` so the checkpoint subsystem can
+    build the identical trainer and then restore a snapshot into it
+    before running.
+    """
     nodes = make_nodes(context, seed=spec.seed)
     node_overrides = {}
     if spec.coreset_size is not None:
@@ -392,8 +427,7 @@ def run_method(context: ExperimentContext, spec, /, **legacy_kwargs) -> RunResul
         seed=spec.seed,
         overrides=spec.overrides,
     )
-    trainer.run()
-    return RunResult.from_trainer(spec, trainer, nodes)
+    return nodes, trainer
 
 
 def select_eval_nodes(result: RunResult, context: ExperimentContext) -> list[VehicleNode]:

@@ -9,6 +9,28 @@ from repro.nn.params import Parameter
 __all__ = ["SGD", "Adam"]
 
 
+def _flatten_buffers(buffers: list[np.ndarray]) -> np.ndarray:
+    """Concatenate per-parameter state buffers into one flat vector."""
+    if not buffers:
+        return np.zeros(0)
+    return np.concatenate([buf.ravel() for buf in buffers])
+
+
+def _restore_buffers(buffers: list[np.ndarray], flat: np.ndarray) -> None:
+    """Split a flat vector back into per-parameter state buffers."""
+    flat = np.asarray(flat)
+    total = sum(buf.size for buf in buffers)
+    if flat.size != total:
+        raise ValueError(
+            f"optimizer state has {flat.size} entries, model needs {total}"
+        )
+    offset = 0
+    for buf in buffers:
+        chunk = flat[offset : offset + buf.size]
+        buf[...] = chunk.reshape(buf.shape).astype(buf.dtype, copy=False)
+        offset += buf.size
+
+
 class SGD:
     """Stochastic gradient descent with optional momentum."""
 
@@ -34,6 +56,14 @@ class SGD:
         """Clear accumulated gradients on all managed parameters."""
         for p in self.params:
             p.zero_grad()
+
+    def snapshot(self) -> dict:
+        """Internal state as plain arrays (checkpoint state)."""
+        return {"velocity": _flatten_buffers(self._velocity)}
+
+    def restore(self, state: dict) -> None:
+        """Replace internal state with a :meth:`snapshot`'s."""
+        _restore_buffers(self._velocity, state["velocity"])
 
 
 class Adam:
@@ -85,3 +115,17 @@ class Adam:
         """Clear accumulated gradients on all managed parameters."""
         for p in self.params:
             p.zero_grad()
+
+    def snapshot(self) -> dict:
+        """Internal state as plain arrays (checkpoint state)."""
+        return {
+            "step": int(self._step),
+            "m": _flatten_buffers(self._m),
+            "v": _flatten_buffers(self._v),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Replace internal state with a :meth:`snapshot`'s."""
+        self._step = int(state["step"])
+        _restore_buffers(self._m, state["m"])
+        _restore_buffers(self._v, state["v"])

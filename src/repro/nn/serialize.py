@@ -49,7 +49,14 @@ def load_model(path: str | Path) -> WaypointNet:
             seed=0,
             use_conv=bool(data["use_conv"]),
         )
-        set_flat_params(model, data["params"])
+        params = data["params"]
+        expected = get_flat_params(model).size
+        if params.ndim != 1 or params.size != expected:
+            raise ValueError(
+                f"corrupt checkpoint {path}: stored {params.size} parameters "
+                f"but the {bev_shape} architecture needs {expected}"
+            )
+        set_flat_params(model, params)
     return model
 
 

@@ -11,6 +11,13 @@ plus an optional telemetry registry state for the parent to merge.
 Imports of the experiment stack are deliberately lazy so that
 ``repro.parallel`` can be imported from inside ``repro.experiments``
 modules without creating an import cycle.
+
+Specs with ``checkpoint_every`` set compose with the pool's
+crash-recovery for free: ``run_method`` routes them through
+:func:`repro.checkpoint.resume.run_with_checkpoints`, so a retried or
+serial-fallback attempt resumes from the newest on-disk barrier
+snapshot instead of recomputing from virtual time zero — and still
+returns a bit-identical result.
 """
 
 from __future__ import annotations

@@ -104,6 +104,35 @@ class DrivingDataset:
         # on (uid, generation).
         self._uid = next(_DATASET_UIDS)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        ids,
+        bev: np.ndarray,
+        commands: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+    ) -> "DrivingDataset":
+        """Build a dataset directly from column arrays (checkpoint restore).
+
+        ``ids`` must be unique; rows are adopted in order with no dedup
+        pass, so a dataset rebuilt from its own :meth:`arrays` output is
+        identical to the original (same ids, same row order).
+        """
+        out = cls()
+        ids = [str(frame_id) for frame_id in ids]
+        if len(set(ids)) != len(ids):
+            raise ValueError("from_arrays requires unique frame ids")
+        if ids:
+            out._bulk_append(
+                ids,
+                np.asarray(bev, dtype=np.float32),
+                np.asarray(commands, dtype=np.int64),
+                np.asarray(targets, dtype=np.float32),
+                np.asarray(weights, dtype=np.float64),
+            )
+        return out
+
     @property
     def uid(self) -> int:
         """Process-wide unique identity (stable across mutations)."""
