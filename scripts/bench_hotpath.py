@@ -25,6 +25,23 @@ bytes on disk per checkpoint — the artifact behind
     PYTHONPATH=src python scripts/bench_hotpath.py --suite checkpoint \
         --out BENCH_checkpoint.json
 
+``--suite fleet`` measures the fleet-batched training engine (ISSUE 7):
+batched-vs-per-node train-step and evaluate throughput at 8/32/128
+nodes, the paper-scale training-step segment, and the end-to-end
+hotpath-smoke LbChat run.  Record the "before" phase with
+``--fleet-mode per-node`` and the "after" phase with
+``--fleet-mode batched``, then merge with ``--update-section fleet``
+so the report nests inside ``BENCH_hotpath.json`` next to the
+components report:
+
+    PYTHONPATH=src python scripts/bench_hotpath.py --suite fleet \
+        --fleet-mode per-node --label before --out /tmp/fleet-before.json
+    PYTHONPATH=src python scripts/bench_hotpath.py --suite fleet \
+        --fleet-mode batched --label after --out /tmp/fleet-after.json
+    PYTHONPATH=src python scripts/bench_hotpath.py \
+        --merge /tmp/fleet-before.json /tmp/fleet-after.json \
+        --update-section fleet --out BENCH_hotpath.json
+
 ``--suite worldsim`` instead times the world-simulation hot path at
 paper scale (332 agents): ``World.step``, one tick's worth of
 ``road_obstacles`` neighbor queries, ``render_bev``, per-snapshot fleet
@@ -61,19 +78,19 @@ def _time(fn, repeat: int, warmup: int = 2) -> float:
     return best
 
 
-def make_dataset():
+def make_dataset(bev_shape=BEV_SHAPE, n_frames=N_FRAMES, seed=0):
     from repro.sim.dataset import DrivingDataset, Frame
 
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(seed)
     frames = [
         Frame(
-            f"f{i}",
-            rng.normal(size=BEV_SHAPE).astype(np.float32),
+            f"f{seed}-{i}",
+            rng.normal(size=bev_shape).astype(np.float32),
             int(rng.integers(0, 4)),
             rng.normal(size=2 * N_WAYPOINTS).astype(np.float32),
             float(rng.uniform(0.5, 2.0)),
         )
-        for i in range(N_FRAMES)
+        for i in range(n_frames)
     ]
     return DrivingDataset(frames)
 
@@ -258,6 +275,99 @@ def bench_worldsim() -> dict[str, float]:
     return out
 
 
+def bench_fleet(batched: bool) -> dict[str, float]:
+    """Fleet-batched vs per-node training/evaluation throughput (ISSUE 7).
+
+    Run once with ``--fleet-mode per-node`` (the "before" phase) and
+    once with ``--fleet-mode batched``, then merge the two files with
+    ``--update-section fleet`` so the report lands next to the
+    components report inside ``BENCH_hotpath.json``.
+    """
+    from repro.core.fleet import FleetEngine
+    from repro.core.node import NodeConfig, VehicleNode
+    from repro.engine.random import spawn_rng
+    from repro.experiments.configs import PAPER
+    from repro.experiments.runner import RunSpec, build_context, run_method
+    from repro.nn import make_driving_model
+
+    out: dict[str, float] = {}
+
+    def build_fleet(n_nodes, bev_shape, hidden, batch_size):
+        config = NodeConfig(coreset_size=50, learning_rate=1e-3, batch_size=batch_size)
+        base = make_dataset(bev_shape=bev_shape)
+        nodes = []
+        for i in range(n_nodes):
+            model = make_driving_model(bev_shape, N_WAYPOINTS, hidden=hidden, seed=0)
+            nodes.append(
+                VehicleNode(
+                    f"fleet{i}", model, base.copy(), config, spawn_rng(7, f"fleet-{i}")
+                )
+            )
+        engine = None
+        if batched:
+            engine = FleetEngine.try_build(nodes)
+            assert engine is not None, "bench fleet must be batchable"
+        return nodes, engine
+
+    validation = make_dataset(n_frames=300, seed=1)
+    for n_nodes in (8, 32, 128):
+        nodes, engine = build_fleet(n_nodes, BEV_SHAPE, hidden=48, batch_size=64)
+
+        def train_all():
+            if engine is not None:
+                engine.train_step_all()
+            else:
+                for node in nodes:
+                    node.train_step()
+
+        out[f"train_step_{n_nodes}_s"] = _time(train_all, repeat=10)
+
+        def eval_all():
+            for node in nodes:
+                node.model_version += 1  # force a full cache miss
+            if engine is not None:
+                engine.evaluate_fleet(validation)
+            else:
+                for node in nodes:
+                    node.evaluate(validation, with_penalty=False)
+
+        out[f"evaluate_{n_nodes}_s"] = _time(eval_all, repeat=5)
+
+    # The acceptance-criteria number: the training-step segment at paper
+    # scale — 32 vehicles, the paper-sized model and batch — timed over
+    # five lock-step rounds (what one train_interval instant costs).
+    paper_bev = PAPER.bev.shape
+    nodes, engine = build_fleet(
+        PAPER.world.n_vehicles, paper_bev, hidden=PAPER.hidden,
+        batch_size=PAPER.batch_size,
+    )
+
+    def paper_rounds():
+        for _ in range(5):
+            if engine is not None:
+                engine.train_step_all()
+            else:
+                for node in nodes:
+                    node.train_step()
+
+    out["paper_train_segment_s"] = _time(paper_rounds, repeat=3) / 5.0
+
+    # End-to-end check on the hotpath-smoke world: the full LbChat run
+    # with fleet batching toggled by config.
+    sys.path.insert(0, str(Path(__file__).parent))
+    from hotpath_smoke import build_scale
+
+    context = build_context(build_scale())
+    overrides = {} if batched else {"fleet_batching": False}
+    spec = RunSpec.for_context(
+        context, "LbChat", wireless=True, seed=3, overrides=overrides
+    )
+    t0 = time.perf_counter()
+    run_method(context, spec)
+    out["run_lbchat_smoke_s"] = time.perf_counter() - t0
+    return out
+
+
 def bench_checkpoint() -> dict[str, float]:
     """Barrier-checkpointing overhead on the hotpath-smoke world."""
     import tempfile
@@ -330,6 +440,17 @@ _SUITE_DESCRIPTIONS = {
         "worth of fleet neighbor queries; paper_context_build_s is the "
         "full §IV-A context build (120 s collection + 400 s traces)."
     ),
+    "fleet": (
+        "Fleet-batched training engine (ISSUE 7): per-node loops vs one "
+        "batched tensor op per layer across the whole fleet. "
+        "train_step_N_s is one lock-step training instant for N "
+        "identical nodes (48-hidden model, 64-sample batches); "
+        "evaluate_N_s is a full-miss validation pass over 300 frames; "
+        "paper_train_segment_s is one training instant at paper scale "
+        "(32 vehicles, hidden=96, 20x20 BEV, 64-sample batches); "
+        "run_lbchat_smoke_s is the end-to-end hotpath-smoke LbChat run "
+        "with fleet batching toggled by TrainerConfig.fleet_batching."
+    ),
     "checkpoint": (
         "Barrier-checkpointing overhead (ISSUE 6) on the hotpath-smoke "
         "world (3 vehicles, 40 s training horizon, barriers every 10 "
@@ -372,17 +493,40 @@ def main() -> int:
     parser.add_argument(
         "--suite",
         default="components",
-        choices=("components", "worldsim", "checkpoint"),
+        choices=("components", "worldsim", "checkpoint", "fleet"),
         help="components: ISSUE 4 data-layer suite; worldsim: ISSUE 5 "
         "paper-scale world-simulation suite (includes paper_context_build); "
-        "checkpoint: ISSUE 6 barrier-checkpointing overhead suite",
+        "checkpoint: ISSUE 6 barrier-checkpointing overhead suite; "
+        "fleet: ISSUE 7 fleet-batched training suite (see --fleet-mode)",
+    )
+    parser.add_argument(
+        "--fleet-mode",
+        default="batched",
+        choices=("per-node", "batched"),
+        help="for --suite fleet: per-node is the 'before' phase "
+        "(plain node.train_step loops), batched the 'after' phase "
+        "(FleetEngine batched steps)",
     )
     parser.add_argument("--merge", nargs=2, metavar=("BEFORE", "AFTER"))
+    parser.add_argument(
+        "--update-section",
+        metavar="NAME",
+        help="with --merge: nest the merged report under this key inside "
+        "an existing --out file instead of overwriting the whole file",
+    )
     args = parser.parse_args()
 
     if args.merge:
         report = merge(*args.merge)
-        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        if args.update_section:
+            out_path = Path(args.out)
+            existing = (
+                json.loads(out_path.read_text()) if out_path.exists() else {}
+            )
+            existing[args.update_section] = report
+            out_path.write_text(json.dumps(existing, indent=2) + "\n")
+        else:
+            Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
         print(json.dumps(report["speedup"], indent=2))
         return 0
 
@@ -390,6 +534,8 @@ def main() -> int:
         timings = bench_worldsim()
     elif args.suite == "checkpoint":
         timings = bench_checkpoint()
+    elif args.suite == "fleet":
+        timings = bench_fleet(batched=args.fleet_mode == "batched")
     else:
         timings = bench_components()
         if args.e2e != "none":

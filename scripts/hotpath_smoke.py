@@ -97,6 +97,65 @@ def digest_result(result) -> dict[str, str]:
     }
 
 
+def digest_fleet() -> dict[str, str]:
+    """Digest one batched fleet training round (gates the ISSUE 7 path).
+
+    A four-node fleet with distinct coresets takes three lock-step
+    batched steps plus one batched validation pass; the digests pin the
+    per-node losses, the shared parameter bank, and the evaluation
+    values, so any drift in the batched forward/backward/Adam path or
+    the slot-based loss cache fails the gate.
+    """
+    from repro.core.fleet import FleetEngine
+    from repro.core.node import NodeConfig, VehicleNode
+    from repro.engine.random import spawn_rng
+    from repro.nn import make_driving_model
+    from repro.sim.dataset import DrivingDataset, Frame
+
+    bev_shape, n_waypoints = (4, 8, 8), 3
+
+    def make_dataset(seed: int, n_frames: int) -> DrivingDataset:
+        rng = np.random.default_rng(seed)
+        return DrivingDataset(
+            [
+                Frame(
+                    f"s{seed}-{i}",
+                    rng.normal(size=bev_shape).astype(np.float32),
+                    int(rng.integers(0, 4)),
+                    rng.normal(size=2 * n_waypoints).astype(np.float32),
+                    float(rng.uniform(0.5, 2.0)),
+                )
+                for i in range(n_frames)
+            ]
+        )
+
+    config = NodeConfig(coreset_size=20, learning_rate=1e-3, batch_size=16)
+    nodes = [
+        VehicleNode(
+            f"smoke{i}",
+            make_driving_model(bev_shape, n_waypoints, hidden=16, seed=i),
+            make_dataset(100 + i, 40),
+            config,
+            spawn_rng(5, f"fleet-smoke-{i}"),
+        )
+        for i in range(4)
+    ]
+    engine = FleetEngine.try_build(nodes)
+    assert engine is not None, "smoke fleet must be batchable"
+    losses = [engine.train_step_all() for _ in range(3)]
+    validation = make_dataset(99, 25)
+    values = engine.evaluate_fleet(validation)
+    params = b"".join(
+        np.ascontiguousarray(node.flat_params, dtype=np.float32).tobytes()
+        for node in nodes
+    )
+    return {
+        "losses": _sha(np.asarray(losses, dtype=np.float64).tobytes()),
+        "evaluate": _sha(np.ascontiguousarray(values, dtype=np.float64).tobytes()),
+        "params": _sha(params),
+    }
+
+
 def digest_registry(session) -> str:
     state = session.registry.state()
     payload = json.dumps(
@@ -122,6 +181,8 @@ def run_and_digest() -> dict:
             spec = RunSpec.for_context(context, method, wireless=True, seed=SEED)
             digests[method] = digest_result(run_method(context, spec))
     digests["telemetry"] = digest_registry(session)
+    print("digesting batched fleet round...")
+    digests["fleet"] = digest_fleet()
     return digests
 
 
@@ -158,6 +219,8 @@ def main() -> int:
         for key in sorted(golden.get(method, digests[method])):
             check(f"{method}: {key}", digests[method][key], golden[method][key])
     check("telemetry registry", digests["telemetry"], golden["telemetry"])
+    for key in sorted(golden.get("fleet", digests["fleet"])):
+        check(f"fleet: {key}", digests["fleet"][key], golden["fleet"][key])
 
     if failures:
         print(f"\nSMOKE FAILED: {len(failures)} digest mismatch(es):")

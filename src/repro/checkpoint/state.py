@@ -51,7 +51,11 @@ class Snapshottable(Protocol):
 
 def _flatten(value: Any, path: str, arrays: dict[str, np.ndarray]) -> Any:
     if isinstance(value, np.ndarray):
-        arrays[path] = value
+        # Detach views: with fleet-batched training, state trees can
+        # contain zero-copy views into live parameter banks (or dataset
+        # storage) that keep mutating after the snapshot — serializing
+        # later must see the values as of snapshot time.
+        arrays[path] = value.copy() if value.base is not None else value
         return {ARRAY_MARKER: path}
     if isinstance(value, Mapping):
         out = {}

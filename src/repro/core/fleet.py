@@ -1,0 +1,231 @@
+"""Fleet-batched training engine over a shared parameter bank.
+
+Every trainer runs all vehicles' local iterations in lock-step — the
+discrete-event loop fires each vehicle's train timer at the same
+instants, and busy state gates communication only, never training.  The
+:class:`FleetEngine` exploits that: when the first vehicle of an instant
+fires, it samples every node's minibatch, runs one batched
+forward/backward over a :class:`~repro.nn.bank.ParamBank`, and applies a
+vectorized Adam step for the whole fleet; the remaining vehicles of the
+instant just pick up their precomputed loss.
+
+The engine is strictly an execution strategy.  Nodes keep their own
+:class:`~repro.core.node.VehicleNode` API — chats, compression,
+psi-probes, checkpoints all operate on per-node views into the bank
+(see :mod:`repro.nn.bank`), so attaching the engine changes *where*
+tensors live, not what any protocol sees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.node import _EVAL_CHUNK, VehicleNode
+from repro.nn.bank import FleetAdam, FleetWaypointNet, ParamBank, RowAdam
+from repro.nn.losses import fleet_waypoint_l1, waypoint_l1
+from repro.nn.model import WaypointNet
+from repro.nn.optim import Adam
+from repro.sim.dataset import DrivingDataset
+
+__all__ = ["FleetEngine", "FleetIncompatible"]
+
+
+class FleetIncompatible(ValueError):
+    """The node set cannot share one parameter bank."""
+
+
+class FleetEngine:
+    """Batched forward/backward/update for a homogeneous vehicle fleet.
+
+    Construction adopts every node into a shared :class:`ParamBank`
+    (rebinding its ``Parameter`` storage to bank views), imports each
+    node's optimizer state into one :class:`FleetAdam`, and swaps the
+    node's optimizer for a :class:`RowAdam` facade.  Raises
+    :class:`FleetIncompatible` when the nodes differ in model structure
+    or optimizer hyperparameters — use :meth:`try_build` to fall back to
+    per-node training gracefully.
+    """
+
+    def __init__(self, nodes: list[VehicleNode]):
+        if len(nodes) < 2:
+            raise FleetIncompatible("fleet batching needs at least two nodes")
+        first = nodes[0]
+        if not isinstance(first.model, WaypointNet):
+            raise FleetIncompatible(f"cannot batch {type(first.model).__name__}")
+        for node in nodes:
+            if not isinstance(node.model, WaypointNet):
+                raise FleetIncompatible(f"cannot batch {type(node.model).__name__}")
+            if type(node.optimizer) is not Adam:
+                raise FleetIncompatible(
+                    f"cannot batch optimizer {type(node.optimizer).__name__}"
+                )
+        opt = first.optimizer
+        key = (opt.lr, opt.beta1, opt.beta2, opt.eps, opt.weight_decay)
+        for node in nodes:
+            o = node.optimizer
+            if (o.lr, o.beta1, o.beta2, o.eps, o.weight_decay) != key:
+                raise FleetIncompatible("nodes disagree on Adam hyperparameters")
+        # Validate everything (structure, batchable layer types) before
+        # mutating any node, so a failed build leaves the fleet intact.
+        bank = ParamBank(first.model, len(nodes))
+        try:
+            model = FleetWaypointNet(bank, first.model)
+            for node in nodes:
+                bank._check_compatible(node.model)
+        except ValueError as exc:
+            raise FleetIncompatible(str(exc)) from exc
+        self.nodes = nodes
+        self.bank = bank
+        self.model = model
+        self.optim = FleetAdam(
+            bank,
+            lr=opt.lr,
+            betas=(opt.beta1, opt.beta2),
+            eps=opt.eps,
+            weight_decay=opt.weight_decay,
+        )
+        for row, node in enumerate(nodes):
+            self.optim.node_restore(row, node.optimizer.snapshot())
+            bank.adopt(row, node.model)
+            node.bind_bank(
+                bank.row_view(row),
+                RowAdam(self.optim, row, node.model.parameters()),
+            )
+        self._pending: np.ndarray | None = None
+        self._consumed = np.ones(len(nodes), dtype=bool)
+        self._batch_bufs: tuple[np.ndarray, ...] | None = None
+
+    @classmethod
+    def try_build(cls, nodes: list[VehicleNode]) -> "FleetEngine | None":
+        """A :class:`FleetEngine`, or ``None`` if the fleet can't batch."""
+        try:
+            return cls(nodes)
+        except FleetIncompatible:
+            return None
+
+    # -- training ------------------------------------------------------------
+
+    def train_tick(self, row: int) -> float:
+        """One vehicle's train event inside the lock-step instant.
+
+        The first vehicle of an instant triggers the batched step for
+        the whole fleet; later vehicles of the same instant consume
+        their precomputed loss.  A vehicle firing twice without the
+        others in between (never in the event loop, possible in direct
+        calls) simply starts a fresh batch.
+        """
+        if self._pending is None or self._consumed[row]:
+            self._pending = self.train_step_all()
+            self._consumed[:] = False
+        self._consumed[row] = True
+        return float(self._pending[row])
+
+    def train_step_all(self) -> np.ndarray:
+        """One batched minibatch step for every node; per-node losses.
+
+        Minibatches are sampled from each node's own RNG in row order —
+        the same draws, in the same order, as per-node lock-step
+        training.
+        """
+        nodes = self.nodes
+        samples = [
+            node.dataset.sample_batch(
+                node.config.batch_size,
+                node.rng,
+                balance_commands=node.config.balance_commands,
+            )
+            for node in nodes
+        ]
+        sizes = {sample[0].shape[0] for sample in samples}
+        if len(sizes) > 1:
+            # Ragged batches (a dataset still smaller than its batch
+            # size) cannot stack; train those rows individually.
+            return np.array(
+                [self._train_detached(node, s) for node, s in zip(nodes, samples)]
+            )
+        bev, commands, targets = self._stack_batches(samples)
+        pred = self.model.forward(bev, commands)
+        scalars, _, grad = fleet_waypoint_l1(pred, targets)
+        # No zero_grad: the batched backward assigns parameter gradients.
+        self.model.backward(grad)
+        self.optim.step()
+        for node in nodes:
+            node.model_version += 1
+            node.train_steps += 1
+            node._steps_since_refresh += 1
+        return np.asarray(scalars, dtype=np.float64)
+
+    def _stack_batches(
+        self, samples: list
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stack per-node minibatches into persistent ``(n, b, ...)`` buffers.
+
+        Reusing the buffers step over step avoids re-faulting tens of
+        megabytes of freshly mmap'd pages on every training instant.
+        """
+        bufs = self._batch_bufs
+        shapes = tuple((len(samples), *samples[0][k].shape) for k in range(3))
+        if bufs is None or tuple(buf.shape for buf in bufs) != shapes:
+            bufs = self._batch_bufs = tuple(
+                np.empty(shape, dtype=samples[0][k].dtype)
+                for k, shape in enumerate(shapes)
+            )
+        for row, sample in enumerate(samples):
+            bufs[0][row] = sample[0]
+            bufs[1][row] = sample[1]
+            bufs[2][row] = sample[2]
+        return bufs
+
+    @staticmethod
+    def _train_detached(node: VehicleNode, sample) -> float:
+        """Per-node step on an already-sampled batch (ragged fallback)."""
+        bev, commands, targets, _ = sample
+        pred = node.model.forward(bev, commands)
+        scalar, _, grad = waypoint_l1(pred, targets)
+        node.model.zero_grad()
+        node.model.backward(grad)
+        node.optimizer.step()
+        node.model_version += 1
+        node.train_steps += 1
+        node._steps_since_refresh += 1
+        return scalar
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate_fleet(self, dataset: DrivingDataset) -> np.ndarray:
+        """Every node's weighted validation loss, one batched forward.
+
+        Nodes whose loss cache fully covers ``dataset`` at their current
+        model version keep their cached values (identical semantics to
+        :meth:`VehicleNode.per_sample_losses`); the rest are recomputed
+        together by broadcasting the shared validation batch against the
+        whole bank, then written back to each node's cache.
+        """
+        nodes = self.nodes
+        n_nodes = len(nodes)
+        n = len(dataset)
+        if n == 0:
+            return np.zeros(n_nodes)
+        bev, commands, targets, weights = dataset.arrays()
+        slots_list: list[np.ndarray] = []
+        values: list[np.ndarray | None] = []
+        need = []
+        for i, node in enumerate(nodes):
+            slots, cached = node.cached_losses(dataset)
+            slots_list.append(slots)
+            values.append(cached)
+            if cached is None:
+                need.append(i)
+        if need:
+            fresh = np.empty((n_nodes, n), dtype=np.float32)
+            # Keep total forward work per chunk near the per-node cap.
+            chunk = max(1, _EVAL_CHUNK // n_nodes)
+            for start in range(0, n, chunk):
+                sl = slice(start, start + chunk)
+                pred = self.model.forward(bev[sl], commands[sl])
+                fresh[:, sl] = np.abs(pred - targets[sl]).mean(axis=2)
+            for i in need:
+                values[i] = fresh[i]
+                nodes[i].store_losses(slots_list[i], fresh[i])
+        norm = weights / weights.sum()
+        return np.array([float(vals @ norm) for vals in values])

@@ -4,6 +4,13 @@ Each vehicle trains continuously and, when idle, ranks the idle
 neighbors in radio range by the Eq. 5 priority score computed from
 shared routes, then runs the full pairwise chat protocol with the best
 one.  Both participants are busy for the chat's simulated duration.
+
+Training itself runs through :class:`~repro.core.trainer_base.
+TrainerBase`'s fleet engine when enabled: all vehicles' train timers
+fire at the same instants (busy state gates chats, never training), so
+the fleet takes one batched step per instant, and every chat-side
+operation here — compression, Eq. 8 aggregation, coreset absorption —
+works on zero-copy views into the shared parameter bank.
 """
 
 from __future__ import annotations

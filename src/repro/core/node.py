@@ -98,17 +98,35 @@ class VehicleNode:
         )
         self.model_version = 0
         self.train_steps = 0
+        #: Read-only flat view of this node's bank row once a
+        #: :class:`~repro.core.fleet.FleetEngine` adopts the node.
+        self._bank_flat: np.ndarray | None = None
         # Loss cache, vectorized: frame ids map to slots in flat
         # version/value arrays, so lookups over a whole dataset are two
         # fancy-indexing operations instead of a per-frame dict walk.
         self._cache_slots: dict[str, int] = {}
         self._cache_versions = np.full(64, -1, dtype=np.int64)
-        self._cache_values = np.zeros(64)
+        self._cache_values = np.zeros(64, dtype=np.float32)
         self._cache_epoch = 0
         #: dataset uid -> (generation, epoch, id→slot vector) memo.
         self._slot_memo: dict[int, tuple[int, int, np.ndarray]] = {}
         self._steps_since_refresh = 0
         self.coreset: Coreset = self.refresh_coreset()
+
+    # -- fleet attachment ----------------------------------------------------
+
+    def bind_bank(self, flat_row: np.ndarray, optimizer) -> None:
+        """Adopt bank-backed storage (called by ``FleetEngine``).
+
+        ``flat_row`` is a read-only flat view of this node's bank row;
+        ``optimizer`` is the per-row facade replacing the standalone
+        Adam.  The model's ``Parameter`` objects were already rebound to
+        bank views by :meth:`~repro.nn.bank.ParamBank.adopt`, so every
+        per-node operation keeps working — this just records the
+        zero-copy handles.
+        """
+        self._bank_flat = flat_row
+        self.optimizer = optimizer
 
     # -- training ------------------------------------------------------------
 
@@ -157,7 +175,7 @@ class VehicleNode:
                     grown = max(2 * self._cache_versions.size, slot + 1)
                     versions = np.full(grown, -1, dtype=np.int64)
                     versions[: self._cache_versions.size] = self._cache_versions
-                    values = np.zeros(grown)
+                    values = np.zeros(grown, dtype=np.float32)
                     values[: self._cache_values.size] = self._cache_values
                     self._cache_versions, self._cache_values = versions, values
                 cache_slots[frame_id] = slot
@@ -190,7 +208,7 @@ class VehicleNode:
         n_live = len(self._cache_slots)
         capacity = max(64, n_live)
         versions = np.full(capacity, -1, dtype=np.int64)
-        values = np.zeros(capacity)
+        values = np.zeros(capacity, dtype=np.float32)
         versions[:n_live] = self._cache_versions[:used][live]
         values[:n_live] = self._cache_values[:used][live]
         self._cache_versions, self._cache_values = versions, values
@@ -211,7 +229,7 @@ class VehicleNode:
         chunked batched forwards and written back in bulk.
         """
         n = len(dataset)
-        losses = np.zeros(n)
+        losses = np.zeros(n, dtype=np.float32)
         if n == 0:
             return losses
         slots = self._slots_for(dataset)
@@ -230,6 +248,24 @@ class VehicleNode:
                 self._cache_values[chunk_slots] = losses[chunk]
                 self._cache_versions[chunk_slots] = self.model_version
         return losses
+
+    def cached_losses(self, dataset: DrivingDataset) -> tuple[np.ndarray, np.ndarray | None]:
+        """``(slots, values)`` if the whole dataset hits the loss cache.
+
+        ``values`` is ``None`` on any miss — the fleet engine then
+        recomputes the node's losses in one batched forward and writes
+        them back via :meth:`store_losses`.
+        """
+        slots = self._slots_for(dataset)
+        hit = self._cache_versions[slots] == self.model_version
+        if hit.all():
+            return slots, self._cache_values[slots]
+        return slots, None
+
+    def store_losses(self, slots: np.ndarray, values: np.ndarray) -> None:
+        """Write externally computed per-sample losses into the cache."""
+        self._cache_values[slots] = values
+        self._cache_versions[slots] = self.model_version
 
     def evaluate(self, dataset: DrivingDataset, with_penalty: bool = True) -> float:
         """Weighted loss of the current model on ``dataset`` (Eq. 6)."""
@@ -323,7 +359,7 @@ class VehicleNode:
         Top-k sparsification by default; "quantize" maps psi to the
         nearest bit width (quantization offers discrete size levels).
         """
-        flat = get_flat_params(self.model)
+        flat = self.flat_params
         if self.config.compressor == "quantize":
             from repro.compression import compress_quantize
 
@@ -347,7 +383,7 @@ class VehicleNode:
 
         Returns the (w_local, w_received) weights used.
         """
-        local = get_flat_params(self.model)
+        local = self.flat_params
         received = decompress(compressed, fill=local)
         if mean_weights:
             weights = (0.5, 0.5)
@@ -372,7 +408,15 @@ class VehicleNode:
 
     @property
     def flat_params(self) -> np.ndarray:
-        """The model's parameters as one flat vector (a copy)."""
+        """The model's parameters as one flat float32 vector.
+
+        Bank-attached nodes return a *read-only view* of their bank row
+        — zero-copy, always current, safe to hand to compression and
+        aggregation (both read before any write-back).  Detached nodes
+        concatenate a fresh copy as before.
+        """
+        if self._bank_flat is not None:
+            return self._bank_flat
         return get_flat_params(self.model)
 
     # -- checkpointing ------------------------------------------------------------
@@ -430,8 +474,8 @@ class VehicleNode:
         used = len(cache_ids)
         capacity = max(64, used)
         self._cache_versions = np.full(capacity, -1, dtype=np.int64)
-        self._cache_values = np.zeros(capacity)
+        self._cache_values = np.zeros(capacity, dtype=np.float32)
         self._cache_versions[:used] = np.asarray(state["cache_versions"], dtype=np.int64)
-        self._cache_values[:used] = np.asarray(state["cache_values"], dtype=float)
+        self._cache_values[:used] = np.asarray(state["cache_values"], dtype=np.float32)
         self._cache_epoch += 1
         self._slot_memo.clear()

@@ -79,6 +79,10 @@ class TrainerConfig:
     max_range: float = 500.0
     channel: ChannelConfig = field(default_factory=ChannelConfig)
     seed: int = 0
+    #: Train the whole fleet through one batched parameter bank
+    #: (:mod:`repro.core.fleet`).  Falls back to per-node training
+    #: automatically when the nodes are heterogeneous.
+    fleet_batching: bool = True
 
 
 class TrainerBase:
@@ -122,6 +126,11 @@ class TrainerBase:
             from repro.net.mac import ContentionTracker
 
             self.contention = ContentionTracker(sense_range=config.max_range)
+        self.fleet = None
+        if config.fleet_batching:
+            from repro.core.fleet import FleetEngine
+
+            self.fleet = FleetEngine.try_build(nodes)
 
     def note_transfer_window(self, i: int, j: int, duration: float) -> None:
         """Register a chat's airtime with the contention tracker (if on)."""
@@ -184,10 +193,20 @@ class TrainerBase:
         return lambda t: self.traces.distance(i, j, t)
 
     def record_losses(self) -> None:
-        """Record every vehicle's validation loss at the current time."""
-        for node in self.nodes:
-            loss = node.evaluate(self.validation, with_penalty=False)
-            self.loss_curve.record(node.node_id, self.sim.now, loss)
+        """Record every vehicle's validation loss at the current time.
+
+        With a fleet engine, all nodes evaluate in one batched forward
+        (the shared validation batch broadcasts against the parameter
+        bank); otherwise each node evaluates on its own.
+        """
+        if self.fleet is not None and len(self.validation):
+            losses = self.fleet.evaluate_fleet(self.validation)
+            for node, loss in zip(self.nodes, losses):
+                self.loss_curve.record(node.node_id, self.sim.now, float(loss))
+        else:
+            for node in self.nodes:
+                loss = node.evaluate(self.validation, with_penalty=False)
+                self.loss_curve.record(node.node_id, self.sim.now, loss)
         telemetry.on_record_tick(self.sim.now, len(self.nodes))
 
     # -- processes ------------------------------------------------------------
@@ -210,7 +229,14 @@ class TrainerBase:
         if resume:
             yield self.sim.wait_until(self._next_train[i])
         while self.sim.now < cfg.duration:
-            node.train_step()
+            if self.fleet is not None:
+                # All vehicles fire at the same instants (training is
+                # never gated by busy state), so the fleet engine runs
+                # one batched step per instant; this event just claims
+                # vehicle i's share of it.
+                self.fleet.train_tick(i)
+            else:
+                node.train_step()
             self.counters.add("train_steps")
             if self.sim.now >= self.next_scan[i] and self.is_idle(i):
                 self.next_scan[i] = self.sim.now + cfg.scan_interval

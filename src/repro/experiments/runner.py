@@ -44,7 +44,7 @@ from repro.core.trainer_base import TrainerBase, TrainerConfig
 from repro.engine.metrics import TimeSeriesRecorder
 from repro.engine.random import spawn_rng
 from repro.experiments.configs import ExperimentScale
-from repro.nn import make_driving_model
+from repro.nn import clone_model, make_driving_model
 from repro.sim.dataset import DrivingDataset, collect_fleet_datasets
 from repro.sim.evaluate import DrivingCondition, EvalConfig, success_rate
 from repro.sim.map import TownMap
@@ -262,13 +262,21 @@ def make_nodes(context: ExperimentContext, seed: int = 1) -> list[VehicleNode]:
         penalty=scale.penalty,
     )
     nodes = []
+    # All vehicles share one deterministic initialization (fixed model
+    # seed), so draw the weights once and clone bit-identical copies —
+    # the trainer's fleet engine then re-homes them into one bank.
+    template = None
     for vid, dataset in sorted(context.datasets.items()):
-        model = make_driving_model(
-            context.scale.bev.shape,
-            scale.n_waypoints,
-            scale.hidden,
-            seed=scale.model_seed,
-        )
+        if template is None:
+            template = make_driving_model(
+                context.scale.bev.shape,
+                scale.n_waypoints,
+                scale.hidden,
+                seed=scale.model_seed,
+            )
+            model = template
+        else:
+            model = clone_model(template)
         # Each node gets a *copy* of its dataset: trainers mutate them.
         local = dataset.copy()
         nodes.append(

@@ -11,6 +11,12 @@ command-branched :class:`~repro.nn.model.WaypointNet` used for the
 BEV-based driving decision task.
 """
 
+from repro.nn.bank import (
+    FleetAdam,
+    FleetWaypointNet,
+    ParamBank,
+    RowAdam,
+)
 from repro.nn.layers import (
     Conv2d,
     Flatten,
@@ -21,6 +27,7 @@ from repro.nn.layers import (
     Tanh,
 )
 from repro.nn.losses import (
+    fleet_waypoint_l1,
     l1_loss,
     mse_loss,
     softmax_cross_entropy,
@@ -49,9 +56,14 @@ __all__ = [
     "l1_loss",
     "mse_loss",
     "waypoint_l1",
+    "fleet_waypoint_l1",
     "softmax_cross_entropy",
     "SGD",
     "Adam",
+    "ParamBank",
+    "FleetWaypointNet",
+    "FleetAdam",
+    "RowAdam",
     "Parameter",
     "get_flat_params",
     "set_flat_params",

@@ -1,0 +1,125 @@
+"""Optional fused C kernel for the fleet Adam update.
+
+The chunked numpy update in :class:`~repro.nn.bank.FleetAdam` makes ~14
+elementwise passes over the moment matrices; at paper scale that is the
+single largest slice of a batched training step.  This module compiles
+a tiny single-pass C kernel with the system C compiler the first time
+it is needed and exposes it through ctypes.  Everything is optional:
+when no compiler is available (or compilation fails for any reason) the
+caller falls back to the numpy path.
+
+Bit-identity contract: the kernel performs the *exact* float32 op
+sequence of ``Adam.step``/``FleetAdam._step_chunked`` — one rounding per
+arithmetic op, scalars pre-cast to float32, compiled with
+``-ffp-contract=off`` so the compiler cannot fuse a multiply-add into an
+FMA with a different rounding.  ``tests/test_nn_bank.py`` asserts the
+kernel and the numpy path produce byte-identical parameters.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import subprocess
+import tempfile
+
+import numpy as np
+
+__all__ = ["fused_adam_step"]
+
+#: Set to a non-empty value to force the numpy fallback (benchmarks and
+#: tests use this to exercise both paths).
+_DISABLE_ENV = "REPRO_NO_FUSED_ADAM"
+
+_SOURCE = r"""
+#include <math.h>
+
+/* One Adam update over n contiguous float32 elements, mirroring
+ * repro.nn.optim.Adam.step op for op:
+ *   m    = m*b1 + (1-b1)*g
+ *   v    = v*b2 + (1-b2)*(g*g)
+ *   p   -= decay*p                      (decoupled pre-step decay)
+ *   p   -= (lr*(m/bc1)) / (sqrt(v/bc2) + eps)
+ * Every intermediate is a float; each op rounds once. */
+void adam_step(float *p, const float *g, float *m, float *v,
+               long long n, float b1, float omb1, float b2, float omb2,
+               float bc1, float bc2, float lr, float eps, float decay)
+{
+    long long i;
+    for (i = 0; i < n; ++i) {
+        float mi = m[i] * b1;
+        mi = mi + omb1 * g[i];
+        m[i] = mi;
+        float vi = v[i] * b2;
+        float gs = g[i] * g[i];
+        vi = vi + omb2 * gs;
+        v[i] = vi;
+        float num = lr * (mi / bc1);
+        float den = sqrtf(vi / bc2) + eps;
+        float pi = p[i];
+        if (decay != 0.0f) {
+            pi = pi - decay * pi;
+        }
+        p[i] = pi - num / den;
+    }
+}
+"""
+
+_kernel = None
+_failed = False
+
+_F32P = np.ctypeslib.ndpointer(dtype=np.float32, flags="C_CONTIGUOUS")
+
+
+def _compile():
+    build_dir = tempfile.mkdtemp(prefix="repro-fused-adam-")
+    src = os.path.join(build_dir, "adam.c")
+    lib_path = os.path.join(build_dir, "adam.so")
+    with open(src, "w") as fh:
+        fh.write(_SOURCE)
+    subprocess.run(
+        [
+            "cc",
+            "-O2",
+            "-ffp-contract=off",
+            "-shared",
+            "-fPIC",
+            src,
+            "-o",
+            lib_path,
+            "-lm",
+        ],
+        check=True,
+        capture_output=True,
+        timeout=120,
+    )
+    lib = ctypes.CDLL(lib_path)
+    lib.adam_step.argtypes = [
+        _F32P,  # p
+        _F32P,  # g
+        _F32P,  # m
+        _F32P,  # v
+        ctypes.c_longlong,  # n
+        *[ctypes.c_float] * 9,  # b1, 1-b1, b2, 1-b2, bc1, bc2, lr, eps, decay
+    ]
+    lib.adam_step.restype = None
+    return lib.adam_step
+
+
+def fused_adam_step():
+    """The compiled ``adam_step`` entry point, or None if unavailable.
+
+    The first call attempts compilation; failures are cached so broken
+    environments pay the probe exactly once.
+    """
+    global _kernel, _failed
+    if _kernel is not None:
+        return _kernel
+    if _failed or os.environ.get(_DISABLE_ENV):
+        return None
+    try:
+        _kernel = _compile()
+    except Exception:
+        _failed = True
+        return None
+    return _kernel

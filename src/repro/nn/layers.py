@@ -62,7 +62,12 @@ class Linear(Module):
         self._input: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._input = x
+        # Backward runs after control returns to the caller, who may
+        # legally refill its batch buffer in between — caching a bare
+        # reference would silently corrupt the weight gradient.  Defend
+        # with a copy; read-only inputs (dataset views) cannot mutate
+        # under us and are aliased for free.
+        self._input = x.copy() if x.flags.writeable else x
         return x @ self.weight.data + self.bias.data
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -78,6 +83,10 @@ class Conv2d(Module):
 
     Input is ``(batch, channels, height, width)``.  Kept deliberately
     small-featured: the BEV encoder only needs a couple of 3x3 layers.
+    Unlike :class:`Linear`, no reference to the caller's input survives
+    ``forward`` — backward reads only the im2col matrix, which is an
+    owned contiguous copy — so callers may reuse their input buffer
+    freely between forward and backward.
     """
 
     def __init__(

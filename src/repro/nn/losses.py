@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["mse_loss", "l1_loss", "waypoint_l1", "softmax_cross_entropy"]
+__all__ = [
+    "mse_loss",
+    "l1_loss",
+    "waypoint_l1",
+    "fleet_waypoint_l1",
+    "softmax_cross_entropy",
+]
 
 
 def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -53,15 +59,54 @@ def waypoint_l1(
     diff = pred - target
     per_sample = np.abs(diff).mean(axis=1)
     if weights is None:
-        weights = np.ones(pred.shape[0])
-    weights = np.asarray(weights, dtype=np.float64)
+        weights = np.ones(pred.shape[0], dtype=pred.dtype)
+    # Dtype-stable: weights follow the prediction dtype (float32 for the
+    # driving model), so the gradient and the cached per-sample losses
+    # never silently upcast to float64.
+    weights = np.asarray(weights, dtype=pred.dtype)
     total = weights.sum()
     if total <= 0:
         raise ValueError("weights must have positive sum")
     norm = weights / total
     scalar = float(per_sample @ norm)
     grad = np.sign(diff) * (norm[:, None] / diff.shape[1])
-    return scalar, per_sample, grad.astype(pred.dtype)
+    return scalar, per_sample, grad
+
+
+def fleet_waypoint_l1(
+    pred: np.ndarray, target: np.ndarray, weights: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`waypoint_l1` over a stacked fleet, one node per leading row.
+
+    Parameters
+    ----------
+    pred, target:
+        ``(n_nodes, batch, n_waypoints * 2)`` stacked waypoint offsets
+        (``target`` may broadcast, e.g. a shared ``(batch, dim)`` set).
+    weights:
+        Optional ``(n_nodes, batch)`` per-sample weights, normalized per
+        node.
+
+    Returns
+    -------
+    (scalar_loss_per_node, per_sample_loss, grad_wrt_pred)
+        Shapes ``(n_nodes,)``, ``(n_nodes, batch)`` and ``pred.shape``.
+        Elementwise this mirrors :func:`waypoint_l1` exactly — same op
+        sequence, same dtype — so batched training matches per-node
+        training bit-for-bit on the loss side.
+    """
+    diff = pred - target
+    per_sample = np.abs(diff).mean(axis=2)
+    if weights is None:
+        weights = np.ones(per_sample.shape, dtype=pred.dtype)
+    weights = np.asarray(weights, dtype=pred.dtype)
+    totals = weights.sum(axis=1, keepdims=True)
+    if np.any(totals <= 0):
+        raise ValueError("weights must have positive sum for every node")
+    norm = weights / totals
+    scalars = (per_sample * norm).sum(axis=1)
+    grad = np.sign(diff) * (norm[:, :, None] / diff.shape[2])
+    return scalars, per_sample, grad
 
 
 def softmax_cross_entropy(

@@ -93,14 +93,20 @@ class WaypointNet(Module):
         commands = np.asarray(commands)
         if commands.ndim != 1 or commands.shape[0] != bev.shape[0]:
             raise ValueError("commands must be a (batch,) vector matching bev")
-        features = self.trunk.forward(bev.astype(np.float32))
+        # ``copy=False``: the first trunk layer defensively copies any
+        # writeable input it must cache (see Linear.forward), so an
+        # unconditional astype copy here would just double the work.
+        features = self.trunk.forward(bev.astype(np.float32, copy=False))
         out = np.zeros((bev.shape[0], 2 * self.n_waypoints), dtype=np.float32)
         for cmd in range(N_COMMANDS):
             mask = commands == cmd
             if mask.any():
                 out[mask] = self.heads[cmd].forward(features[mask])
         self._features = features
-        self._commands = commands
+        # Backward re-reads the command vector after control returned to
+        # the caller; copy writeable inputs so buffer reuse cannot
+        # silently reroute head gradients (same contract as Linear).
+        self._commands = commands.copy() if commands.flags.writeable else commands
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:  # type: ignore[override]

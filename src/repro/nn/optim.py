@@ -105,11 +105,14 @@ class Adam:
             v += (1.0 - self.beta2) * (p.grad**2)
             m_hat = m / bc1
             v_hat = v / bc2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
             if self.weight_decay:
                 # Decoupled (AdamW-style) decay — the training-time face
-                # of Eq. 6's structural-risk term.
+                # of Eq. 6's structural-risk term.  Per Loshchilov &
+                # Hutter, the decay shrinks the *pre-step* parameters;
+                # decaying after the update would compound the decay
+                # with the step just taken.
                 p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
     def zero_grad(self) -> None:
         """Clear accumulated gradients on all managed parameters."""

@@ -71,6 +71,30 @@ class TestLinear:
         with pytest.raises(RuntimeError):
             Linear(2, 2, rng).backward(np.ones((1, 2)))
 
+    def test_input_mutated_between_forward_and_backward(self, rng):
+        # Training loops legally refill their batch buffer between
+        # forward and backward; the layer must not read the caller's
+        # (possibly overwritten) array in backward.
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        pristine = x.copy()
+        layer.zero_grad()
+        layer.forward(x)
+        x[...] = 999.0  # caller reuses its buffer
+        layer.backward(np.ones((4, 2), dtype=np.float32))
+        corrupted_grad = layer.weight.grad.copy()
+        layer.zero_grad()
+        layer.forward(pristine)
+        layer.backward(np.ones((4, 2), dtype=np.float32))
+        assert np.array_equal(corrupted_grad, layer.weight.grad)
+
+    def test_read_only_input_aliased_not_copied(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        x.flags.writeable = False
+        layer.forward(x)
+        assert layer._input is x
+
 
 class TestConv2d:
     def test_output_shape_valid_padding(self, rng):
@@ -113,6 +137,20 @@ class TestConv2d:
         conv.forward(x)
         conv.backward(np.ones((2, 1, 3, 3), dtype=np.float32))
         assert np.allclose(conv.weight.grad, grad_num, atol=1e-2)
+
+    def test_input_mutated_between_forward_and_backward(self, rng):
+        conv = Conv2d(1, 2, 3, rng)
+        x = rng.normal(size=(2, 1, 5, 5)).astype(np.float32)
+        pristine = x.copy()
+        conv.zero_grad()
+        conv.forward(x)
+        x[...] = 999.0  # caller reuses its buffer
+        conv.backward(np.ones((2, 2, 3, 3), dtype=np.float32))
+        corrupted_grad = conv.weight.grad.copy()
+        conv.zero_grad()
+        conv.forward(pristine)
+        conv.backward(np.ones((2, 2, 3, 3), dtype=np.float32))
+        assert np.array_equal(corrupted_grad, conv.weight.grad)
 
 
 class TestActivations:
