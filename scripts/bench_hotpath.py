@@ -42,6 +42,18 @@ components report:
         --merge /tmp/fleet-before.json /tmp/fleet-after.json \
         --update-section fleet --out BENCH_hotpath.json
 
+``--suite cityscale`` measures the city-scale machinery (ISSUE 8):
+encounter-window extraction via the swept spatial sweep vs the
+all-pairs reference, plus sharded city-world stepping, at 32/128/512
+vehicles in the *constant-density* growth regime (map side scales with
+sqrt(fleet), the way a city grows) — the regime where sub-O(n²)
+scaling is observable.  Each fleet size runs in its own subprocess so
+``peak_rss_mb`` is a per-size measurement (``ru_maxrss`` is monotonic
+within a process).  Record the repo-root artifact with:
+
+    PYTHONPATH=src python scripts/bench_hotpath.py --suite cityscale \
+        --update-section cityscale --out BENCH_cityscale.json
+
 ``--suite worldsim`` instead times the world-simulation hot path at
 paper scale (332 agents): ``World.step``, one tick's worth of
 ``road_obstacles`` neighbor queries, ``render_bev``, per-snapshot fleet
@@ -368,6 +380,88 @@ def bench_fleet(batched: bool) -> dict[str, float]:
     return out
 
 
+CITYSCALE_SIZES = (32, 128, 512)
+CITYSCALE_RADIUS = 500.0  # TrainerConfig.max_range, the scan radius
+
+
+def _cityscale_one(n: int) -> dict[str, float]:
+    """Measure one fleet size (runs in its own subprocess for RSS)."""
+    import resource
+
+    from repro.net.sweep import pairwise_encounters, sweep_encounters
+    from repro.sim.synthetic_traces import random_waypoint_traces
+    from repro.sim.world import World, WorldConfig
+
+    # Constant fleet density: the map side grows with sqrt(n), so 512
+    # vehicles patrol a 4 km city, not a 1 km town packed 16x denser.
+    side = 1000.0 * (n / 32) ** 0.5
+    blocks = {32: 1, 128: 2, 512: 3}.get(n, max(1, round((n / 32) ** 0.5)))
+    out: dict[str, float] = {"map_side_m": side}
+
+    traces = random_waypoint_traces(n, duration=120.0, area=side, seed=9)
+    repeat = 3 if n >= 512 else 5
+    out["contact_pairwise_s"] = _time(
+        lambda: pairwise_encounters(traces.positions, CITYSCALE_RADIUS),
+        repeat=repeat, warmup=1,
+    )
+    out["contact_swept_s"] = _time(
+        lambda: sweep_encounters(traces.positions, CITYSCALE_RADIUS),
+        repeat=repeat, warmup=1,
+    )
+    swept = sweep_encounters(traces.positions, CITYSCALE_RADIUS)
+    reference = pairwise_encounters(traces.positions, CITYSCALE_RADIUS)
+    assert swept.to_tuples() == reference.to_tuples(), "swept != pairwise"
+    out["encounter_windows"] = float(len(swept))
+
+    config = WorldConfig(
+        map_size=side, grid_n=4, n_vehicles=n, n_background_cars=n // 8,
+        n_pedestrians=n // 4, city_blocks=blocks, shard_stepping=True,
+    )
+    t0 = time.perf_counter()
+    world = World(config)
+    out["world_build_s"] = time.perf_counter() - t0
+    world.run(2.0)  # disperse from the spawn pattern
+
+    def ten_steps():
+        for _ in range(10):
+            world.step()
+
+    out["world_step_s"] = _time(ten_steps, repeat=3, warmup=1) / 10.0
+    out["peak_rss_mb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return out
+
+
+def bench_cityscale() -> dict[str, float]:
+    """City-scale contact + stepping suite (ISSUE 8), per-size children.
+
+    Each fleet size runs in a child interpreter so its ``peak_rss_mb``
+    reflects that size alone; the parent flattens the per-size dicts
+    into ``<key>_<n>`` entries and appends the 128→512 growth factors
+    (the sub-O(n²) acceptance number: pairwise grows ~16x per 4x fleet
+    at constant density, the swept path ~4x).
+    """
+    import os
+    import subprocess
+
+    out: dict[str, float] = {}
+    for n in CITYSCALE_SIZES:
+        proc = subprocess.run(
+            [
+                sys.executable, str(Path(__file__).resolve()),
+                "--cityscale-size", str(n), "--out", "-",
+            ],
+            check=True, capture_output=True, text=True, env=dict(os.environ),
+        )
+        sized = json.loads(proc.stdout.strip().splitlines()[-1])
+        for key, value in sized.items():
+            out[f"{key}_{n}"] = value
+    for key in ("contact_pairwise_s", "contact_swept_s", "world_step_s"):
+        lo, hi = out[f"{key}_128"], out[f"{key}_512"]
+        if lo > 0:
+            out[f"{key}_growth_128_to_512"] = round(hi / lo, 2)
+    return out
+
+
 def bench_checkpoint() -> dict[str, float]:
     """Barrier-checkpointing overhead on the hotpath-smoke world."""
     import tempfile
@@ -451,6 +545,20 @@ _SUITE_DESCRIPTIONS = {
         "run_lbchat_smoke_s is the end-to-end hotpath-smoke LbChat run "
         "with fleet batching toggled by TrainerConfig.fleet_batching."
     ),
+    "cityscale": (
+        "City-scale suite (ISSUE 8) in the constant-density growth "
+        "regime: fleet sizes 32/128/512 patrol maps whose side grows "
+        "with sqrt(fleet) (1/2/4 km), so local radio-range density "
+        "stays fixed while the city grows. contact_pairwise_s vs "
+        "contact_swept_s is full encounter-window extraction from a "
+        "120 s trace (500 m radius) via the O(n^2) all-pairs reference "
+        "vs the spatial-grid sort-and-sweep; the *_growth_128_to_512 "
+        "factors are the headline — pairwise grows ~16x per 4x fleet, "
+        "the swept path ~4x (sub-O(n^2)). world_step_s is one 10 Hz "
+        "tick of a sharded multi-district city world at that fleet "
+        "size. Each size runs in its own subprocess, so peak_rss_mb "
+        "is per-size (ru_maxrss is monotonic within a process)."
+    ),
     "checkpoint": (
         "Barrier-checkpointing overhead (ISSUE 6) on the hotpath-smoke "
         "world (3 vehicles, 40 s training horizon, barriers every 10 "
@@ -493,11 +601,21 @@ def main() -> int:
     parser.add_argument(
         "--suite",
         default="components",
-        choices=("components", "worldsim", "checkpoint", "fleet"),
+        choices=("components", "worldsim", "checkpoint", "fleet", "cityscale"),
         help="components: ISSUE 4 data-layer suite; worldsim: ISSUE 5 "
         "paper-scale world-simulation suite (includes paper_context_build); "
         "checkpoint: ISSUE 6 barrier-checkpointing overhead suite; "
-        "fleet: ISSUE 7 fleet-batched training suite (see --fleet-mode)",
+        "fleet: ISSUE 7 fleet-batched training suite (see --fleet-mode); "
+        "cityscale: ISSUE 8 constant-density contact + sharded-stepping "
+        "suite at 32/128/512 vehicles",
+    )
+    parser.add_argument(
+        "--cityscale-size",
+        type=int,
+        metavar="N",
+        help="internal: measure one cityscale fleet size in this process "
+        "and print its JSON (spawned per size by --suite cityscale so "
+        "peak RSS is per-size)",
     )
     parser.add_argument(
         "--fleet-mode",
@@ -511,10 +629,15 @@ def main() -> int:
     parser.add_argument(
         "--update-section",
         metavar="NAME",
-        help="with --merge: nest the merged report under this key inside "
-        "an existing --out file instead of overwriting the whole file",
+        help="nest the report under this key inside an existing --out "
+        "file instead of overwriting the whole file (works for --merge "
+        "reports and for single-phase suites like cityscale)",
     )
     args = parser.parse_args()
+
+    if args.cityscale_size:
+        print(json.dumps(_cityscale_one(args.cityscale_size)))
+        return 0
 
     if args.merge:
         report = merge(*args.merge)
@@ -536,6 +659,8 @@ def main() -> int:
         timings = bench_checkpoint()
     elif args.suite == "fleet":
         timings = bench_fleet(batched=args.fleet_mode == "batched")
+    elif args.suite == "cityscale":
+        timings = bench_cityscale()
     else:
         timings = bench_components()
         if args.e2e != "none":
@@ -546,7 +671,13 @@ def main() -> int:
         "description": _SUITE_DESCRIPTIONS[args.suite],
         "timings": timings,
     }
-    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    out_path = Path(args.out)
+    if args.update_section:
+        existing = json.loads(out_path.read_text()) if out_path.exists() else {}
+        existing[args.update_section] = payload
+        out_path.write_text(json.dumps(existing, indent=2) + "\n")
+    else:
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     return 0
 

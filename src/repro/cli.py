@@ -22,13 +22,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.configs import get_scale
+from repro.experiments.configs import get_scale, iter_scales, scale_names
 from repro.experiments.render import render_curves
 
 
 def _add_scale_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--scale", default="ci", choices=("ci", "paper"), help="experiment scale preset"
+        "--scale", default="ci", choices=scale_names(), help="experiment scale preset"
     )
 
 
@@ -63,11 +63,10 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_scales(args: argparse.Namespace) -> int:
-    for name in ("ci", "paper"):
-        scale = get_scale(name)
+    for scale in iter_scales():
         world = scale.world
         print(
-            f"{name:6s} map {world.map_size:.0f}m  vehicles {world.n_vehicles}  "
+            f"{scale.name:6s} map {world.map_size:.0f}m  vehicles {world.n_vehicles}  "
             f"traffic {world.n_background_cars}c/{world.n_pedestrians}p  "
             f"coreset {scale.coreset_size}  T {scale.train_duration:.0f}s"
         )

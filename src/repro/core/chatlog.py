@@ -58,13 +58,25 @@ class ChatRecord:
 
 @dataclass
 class ChatLog:
-    """Append-only list of chat records with summary queries."""
+    """Chat records with summary queries, optionally budget-bounded.
+
+    ``max_records > 0`` turns the log into a ring: appending past the
+    budget evicts the oldest records (``dropped`` counts them), so a
+    city-scale run's log stays O(budget) instead of O(total chats).
+    The default keeps the paper scales' unbounded append-only log.
+    """
 
     records: list[ChatRecord] = field(default_factory=list)
+    max_records: int = 0
+    dropped: int = 0
 
     def append(self, record: ChatRecord) -> None:
-        """Add one record to the log."""
+        """Add one record, evicting the oldest past ``max_records``."""
         self.records.append(record)
+        if self.max_records > 0 and len(self.records) > self.max_records:
+            excess = len(self.records) - self.max_records
+            del self.records[:excess]
+            self.dropped += excess
 
     def __len__(self) -> int:
         return len(self.records)

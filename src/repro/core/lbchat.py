@@ -73,7 +73,7 @@ class LbChatTrainer(TrainerBase):
         self._last_multicast: dict[tuple[int, int], float] = {}
         from repro.core.chatlog import ChatLog
 
-        self.chat_log = ChatLog()
+        self.chat_log = ChatLog(max_records=self.config.chat_log_budget)
 
     def on_scan(self, i: int) -> None:
         """Pick the best idle neighbor (Eq. 5) and run a chat."""
@@ -185,13 +185,15 @@ class LbChatTrainer(TrainerBase):
         return {
             "last_multicast": pair_times_state(self._last_multicast),
             "chat_log": [asdict(record) for record in self.chat_log.records],
+            "chat_log_dropped": self.chat_log.dropped,
         }
 
     def restore_extra(self, state) -> None:
         from repro.core.chatlog import ChatLog, ChatRecord
 
         self._last_multicast = pair_times_from_state(state["last_multicast"])
-        log = ChatLog()
+        log = ChatLog(max_records=self.config.chat_log_budget)
         for record in state["chat_log"]:
             log.append(ChatRecord(**record))
+        log.dropped = int(state.get("chat_log_dropped", 0))
         self.chat_log = log

@@ -70,6 +70,14 @@ class NodeConfig:
     #: Apply Eq. 6's L2 term during *training* as decoupled weight decay
     #: (evaluations always include it via the penalty config).
     train_with_weight_decay: bool = False
+    #: Hard cap on live loss-cache entries (0 = unbounded, the paper
+    #: scales).  City-scale fleets set this so per-node resident state
+    #: stays O(coreset + validation) instead of growing with every
+    #: frame that ever churned through a merge.  Enforced after each
+    #: cache write; when even the current-version entries exceed the
+    #: budget the cache is dropped wholesale (it is a pure recompute
+    #: cache, so correctness is unaffected).
+    loss_cache_budget: int = 0
 
 
 class VehicleNode:
@@ -220,6 +228,26 @@ class VehicleNode:
         """Number of frames with a (possibly stale) cached loss."""
         return len(self._cache_slots)
 
+    def _enforce_cache_budget(self) -> None:
+        """Keep the loss cache within ``config.loss_cache_budget``.
+
+        Tries the behaviour-neutral stale compaction first; if the
+        current-version entries alone exceed the budget, drops the
+        cache entirely — later evaluations recompute, trading time for
+        the bounded footprint city-scale fleets need.
+        """
+        budget = self.config.loss_cache_budget
+        if budget <= 0 or len(self._cache_slots) <= budget:
+            return
+        self._evict_stale_losses()
+        if len(self._cache_slots) <= budget:
+            return
+        self._cache_slots = {}
+        self._cache_versions = np.full(64, -1, dtype=np.int64)
+        self._cache_values = np.zeros(64, dtype=np.float32)
+        self._cache_epoch += 1
+        self._slot_memo.clear()
+
     def per_sample_losses(self, dataset: DrivingDataset) -> np.ndarray:
         """Per-sample waypoint losses of the current model on ``dataset``.
 
@@ -247,6 +275,7 @@ class VehicleNode:
                 chunk_slots = slots[chunk]
                 self._cache_values[chunk_slots] = losses[chunk]
                 self._cache_versions[chunk_slots] = self.model_version
+            self._enforce_cache_budget()
         return losses
 
     def cached_losses(self, dataset: DrivingDataset) -> tuple[np.ndarray, np.ndarray | None]:
@@ -266,6 +295,7 @@ class VehicleNode:
         """Write externally computed per-sample losses into the cache."""
         self._cache_values[slots] = values
         self._cache_versions[slots] = self.model_version
+        self._enforce_cache_budget()
 
     def evaluate(self, dataset: DrivingDataset, with_penalty: bool = True) -> float:
         """Weighted loss of the current model on ``dataset`` (Eq. 6)."""

@@ -83,6 +83,11 @@ class TrainerConfig:
     #: (:mod:`repro.core.fleet`).  Falls back to per-node training
     #: automatically when the nodes are heterogeneous.
     fleet_batching: bool = True
+    #: Ring-buffer budget for per-chat logs (0 = unbounded).  City-scale
+    #: fleets chat often enough that an append-only log would dominate
+    #: resident memory; the budget keeps the newest records and counts
+    #: the evicted ones.
+    chat_log_budget: int = 0
 
 
 class TrainerBase:

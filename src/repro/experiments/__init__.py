@@ -13,7 +13,13 @@ figures and tables (see DESIGN.md's per-experiment index).
   paper's tables.
 """
 
-from repro.experiments.configs import ExperimentScale, get_scale
+from repro.experiments.configs import (
+    ExperimentScale,
+    get_scale,
+    iter_scales,
+    register_scale,
+    scale_names,
+)
 from repro.experiments.runner import (
     ExperimentContext,
     METHOD_NAMES,
@@ -71,6 +77,9 @@ __all__ = [
     "build_report",
     "ExperimentScale",
     "get_scale",
+    "register_scale",
+    "iter_scales",
+    "scale_names",
     "ExperimentContext",
     "METHOD_NAMES",
     "RunSpec",

@@ -35,8 +35,11 @@ DEFAULT_CACHE_DIR = Path(".repro_cache")
 #: Bump when the pickled context representation changes (format 2:
 #: array-native DrivingDataset storage; format 3: spatial-grid world —
 #: TownMap grew a lazy node table and TrafficManager/World pickle
-#: struct-of-arrays agent mirrors).
-_CACHE_FORMAT = 3
+#: struct-of-arrays agent mirrors; format 4: multi-district city maps —
+#: TownMap grew ``districts_per_side``, WorldConfig grew
+#: ``city_blocks``/``shard_stepping``, MobilityTraces memoize contact
+#: indexes).
+_CACHE_FORMAT = 4
 
 
 def scale_fingerprint(scale: ExperimentScale) -> str:

@@ -260,6 +260,7 @@ def make_nodes(context: ExperimentContext, seed: int = 1) -> list[VehicleNode]:
         batch_size=scale.batch_size,
         learning_rate=scale.learning_rate,
         penalty=scale.penalty,
+        loss_cache_budget=scale.loss_cache_budget,
     )
     nodes = []
     # All vehicles share one deterministic initialization (fixed model
@@ -340,6 +341,7 @@ def _base_trainer_kwargs(scale: ExperimentScale, wireless: bool, seed: int) -> d
         record_interval=scale.record_interval,
         wireless_loss=wireless,
         seed=seed,
+        chat_log_budget=scale.chat_log_budget,
     )
 
 

@@ -20,6 +20,12 @@ from repro.net.contact import (
 )
 from repro.net.mac import ContentionTracker
 from repro.net.profiles import RADIO_PROFILES, RadioProfile, get_radio_profile
+from repro.net.sweep import (
+    ContactIndex,
+    EncounterWindows,
+    pairwise_encounters,
+    sweep_encounters,
+)
 
 __all__ = [
     "ContentionTracker",
@@ -34,4 +40,8 @@ __all__ = [
     "ContactEstimate",
     "estimate_contact",
     "priority_score",
+    "ContactIndex",
+    "EncounterWindows",
+    "sweep_encounters",
+    "pairwise_encounters",
 ]

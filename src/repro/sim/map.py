@@ -13,6 +13,8 @@ evaluation.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import networkx as nx
 
@@ -38,6 +40,11 @@ class TownMap:
         Seed for intersection jitter.
     cell:
         Resolution of the static occupancy grid in meters.
+    districts_per_side:
+        1 builds the paper's single town grid.  ``s > 1`` builds a
+        city: an s x s array of district grids (each a jittered
+        ``grid_n`` x ``grid_n`` town occupying the central ~70% of its
+        block) connected by arterial links between adjacent districts.
     """
 
     def __init__(
@@ -48,17 +55,37 @@ class TownMap:
         rural: bool = True,
         seed: int = 0,
         cell: float = 2.0,
+        districts_per_side: int = 1,
     ):
         if grid_n < 2:
             raise ValueError(f"grid_n must be >= 2: {grid_n}")
+        if districts_per_side < 1:
+            raise ValueError(f"districts_per_side must be >= 1: {districts_per_side}")
         self.size = float(size)
         self.road_half_width = float(road_half_width)
         self.cell = float(cell)
+        self.districts_per_side = int(districts_per_side)
         self.graph = nx.Graph()
         rng = np.random.default_rng(seed)
-        self._build_town(grid_n, rng)
+        if districts_per_side == 1:
+            self._build_town(grid_n, rng)
+            town_corners = [
+                ("t", 0, 0),
+                ("t", grid_n - 1, 0),
+                ("t", grid_n - 1, grid_n - 1),
+                ("t", 0, grid_n - 1),
+            ]
+        else:
+            self._build_city(grid_n, districts_per_side, rng)
+            s = districts_per_side
+            town_corners = [
+                ("t", 0, 0, 0, 0),
+                ("t", s - 1, 0, grid_n - 1, 0),
+                ("t", s - 1, s - 1, grid_n - 1, grid_n - 1),
+                ("t", 0, s - 1, 0, grid_n - 1),
+            ]
         if rural:
-            self._build_rural(grid_n, rng)
+            self._build_rural(rng, town_corners)
         self._edges = list(self.graph.edges())
         self._node_pos = {n: np.asarray(self.graph.nodes[n]["pos"], dtype=float) for n in self.graph}
         self._node_names: list | None = None
@@ -89,7 +116,51 @@ class TownMap:
                 if j + 1 < grid_n:
                     self._add_road(("t", i, j), ("t", i, j + 1))
 
-    def _build_rural(self, grid_n: int, rng: np.random.Generator) -> None:
+    def _build_city(
+        self, grid_n: int, blocks: int, rng: np.random.Generator
+    ) -> None:
+        # An s x s array of district grids.  Each district occupies the
+        # central ~70% of its block (the same proportion the single town
+        # keeps to the map), leaving arterial corridors between blocks.
+        block = self.size / blocks
+        for bi in range(blocks):
+            for bj in range(blocks):
+                xs = np.linspace(bi * block + 0.15 * block, bi * block + 0.85 * block, grid_n)
+                ys = np.linspace(bj * block + 0.15 * block, bj * block + 0.85 * block, grid_n)
+                jitter = 0.08 * (xs[1] - xs[0])
+                for i in range(grid_n):
+                    for j in range(grid_n):
+                        pos = np.array(
+                            [
+                                xs[i] + rng.uniform(-jitter, jitter),
+                                ys[j] + rng.uniform(-jitter, jitter),
+                            ]
+                        )
+                        self.graph.add_node(("t", bi, bj, i, j), pos=pos, kind="town")
+                for i in range(grid_n):
+                    for j in range(grid_n):
+                        if i + 1 < grid_n:
+                            self._add_road(("t", bi, bj, i, j), ("t", bi, bj, i + 1, j))
+                        if j + 1 < grid_n:
+                            self._add_road(("t", bi, bj, i, j), ("t", bi, bj, i, j + 1))
+        # Arterial links stitch adjacent districts together at one or two
+        # boundary rows/columns, so inter-district trips funnel through a
+        # few corridors (and the graph stays connected).
+        lanes = sorted({grid_n // 3, grid_n - 1 - grid_n // 3})
+        for bi in range(blocks - 1):
+            for bj in range(blocks):
+                for j in lanes:
+                    self._add_road(
+                        ("t", bi, bj, grid_n - 1, j), ("t", bi + 1, bj, 0, j), arterial=True
+                    )
+        for bi in range(blocks):
+            for bj in range(blocks - 1):
+                for i in lanes:
+                    self._add_road(
+                        ("t", bi, bj, i, grid_n - 1), ("t", bi, bj + 1, i, 0), arterial=True
+                    )
+
+    def _build_rural(self, rng: np.random.Generator, town_corners: list) -> None:
         # Four rural waypoints near the map corners, chained into a loop
         # and attached to the nearest town corner intersections.
         margin = 0.05 * self.size
@@ -107,19 +178,13 @@ class TownMap:
             names.append(name)
         for k in range(4):
             self._add_road(names[k], names[(k + 1) % 4])
-        town_corners = [
-            ("t", 0, 0),
-            ("t", grid_n - 1, 0),
-            ("t", grid_n - 1, grid_n - 1),
-            ("t", 0, grid_n - 1),
-        ]
         for rural_node, town_node in zip(names, town_corners):
             self._add_road(rural_node, town_node)
 
-    def _add_road(self, a, b) -> None:
+    def _add_road(self, a, b, arterial: bool = False) -> None:
         pa = self.graph.nodes[a]["pos"]
         pb = self.graph.nodes[b]["pos"]
-        self.graph.add_edge(a, b, length=float(np.linalg.norm(pa - pb)))
+        self.graph.add_edge(a, b, length=float(np.linalg.norm(pa - pb)), arterial=arterial)
 
     def _rasterize_roads(self) -> np.ndarray:
         n_cells = int(np.ceil(self.size / self.cell))
@@ -232,11 +297,13 @@ class TownMap:
         return out
 
     def district_of(self, point: np.ndarray, n_districts: int = 4) -> int:
-        """District index of a point (map quadrants, row-major).
+        """District index of a point (row-major grid over the map).
 
         Districts model the home zones vehicles mostly drive in; they
-        are the source of data heterogeneity across the fleet.  Only 1,
-        2 and 4 districts are supported (half/quadrant splits).
+        are the source of data heterogeneity across the fleet.
+        Supported counts are 1, 2 (half split) and any perfect square
+        s² (an s x s grid; 4 is the paper's quadrant split, 9 matches
+        the city map's 3x3 district blocks).
         """
         if n_districts == 1:
             return 0
@@ -246,10 +313,16 @@ class TownMap:
             return int(point[0] >= half)
         if n_districts == 4:
             return int(point[0] >= half) * 2 + int(point[1] >= half)
-        raise ValueError(f"n_districts must be 1, 2 or 4: {n_districts}")
+        side = math.isqrt(n_districts)
+        if side * side != n_districts:
+            raise ValueError(f"n_districts must be 1, 2 or a perfect square: {n_districts}")
+        block = self.size / side
+        i = min(max(int(point[0] // block), 0), side - 1)
+        j = min(max(int(point[1] // block), 0), side - 1)
+        return i * side + j
 
     def district_nodes(self, district: int, n_districts: int = 4) -> list:
-        """Intersections inside one district (never empty for 1/2/4)."""
+        """Intersections inside one district (never empty for supported counts)."""
         nodes = [
             n
             for n in self.graph

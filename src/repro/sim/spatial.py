@@ -26,7 +26,7 @@ import math
 
 import numpy as np
 
-__all__ = ["SpatialGrid", "DEFAULT_CELL_SIZE"]
+__all__ = ["SpatialGrid", "ShardedSpatialGrid", "DEFAULT_CELL_SIZE"]
 
 #: Default bucket edge length in meters.  Matching the common query
 #: radius (``road_obstacles``' 45 m) keeps the gathered window at most
@@ -137,6 +137,126 @@ class SpatialGrid:
         Ascending order; distances are computed with the same
         ``np.linalg.norm`` expression a brute-force scan would use, so
         the selection matches it bit for bit.
+        """
+        idx = self.query(center, radius)
+        if len(idx) == 0:
+            return idx
+        d = self.positions[idx] - np.asarray(center, dtype=float)
+        dist = np.sqrt(np.add.reduce(d * d, axis=1))
+        return idx[dist < radius]
+
+
+#: Tile edge of the sharded grid, in fine cells.  Queries whose radius
+#: fits inside one tile touch at most a 3x3 tile ring.
+_TILE_CELLS = 8
+
+#: Sparse tile-key packing offsets (supports |tile index| < 2^20, i.e.
+#: maps out to ~380,000 km at the default cell size — effectively any).
+_KEY_OFF = 1 << 20
+_KEY_MUL = 1 << 21
+
+
+class ShardedSpatialGrid:
+    """Sparse sharded variant of :class:`SpatialGrid` for huge maps.
+
+    :class:`SpatialGrid` allocates its bucket table and window memo
+    over the *bounding box* of all points, which grows with the map
+    whether or not anyone is there.  This variant hashes points into
+    coarse sparse tiles (a dict keyed by tile coordinates, memory
+    proportional to *occupied* tiles) and lazily builds one dense
+    ``SpatialGrid`` per queried tile over the points of its 3x3 tile
+    neighbourhood — empty districts cost nothing, and per-tick work
+    stays near-linear in the agent count regardless of map size.
+
+    Queries return ascending global indices and are a superset of the
+    true disk, exactly like ``SpatialGrid.query``; after the caller's
+    exact distance filter the selected set is bit-identical to both the
+    dense grid and brute force.  Queries with ``radius > tile_size``
+    (rare) delegate to a lazily-built dense grid, preserving the same
+    guarantee.
+    """
+
+    def __init__(self, positions: np.ndarray, cell_size: float = DEFAULT_CELL_SIZE):
+        positions = np.asarray(positions, dtype=float).reshape(-1, 2)
+        if cell_size <= 0.0:
+            raise ValueError(f"cell_size must be positive: {cell_size}")
+        self.positions = positions
+        self.cell_size = float(cell_size)
+        self.tile_size = float(cell_size * _TILE_CELLS)
+        self._n = len(positions)
+        self._tiles: dict[int, np.ndarray] = {}
+        #: tile key -> (members, sub-grid) for tiles that have been queried.
+        self._subgrids: dict[int, tuple[np.ndarray, SpatialGrid]] = {}
+        self._full: SpatialGrid | None = None
+        if self._n == 0:
+            return
+        tij = np.floor(positions / self.tile_size).astype(np.int64)
+        keys = (tij[:, 0] + _KEY_OFF) * _KEY_MUL + (tij[:, 1] + _KEY_OFF)
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        uniq, starts = np.unique(sorted_keys, return_index=True)
+        bounds = np.append(starts, self._n)
+        for k, s, e in zip(uniq, bounds[:-1], bounds[1:]):
+            # Stable sort by key keeps each tile's members ascending.
+            self._tiles[int(k)] = order[s:e]
+
+    def _tile_key(self, ti: int, tj: int) -> int:
+        return (ti + _KEY_OFF) * _KEY_MUL + (tj + _KEY_OFF)
+
+    def _subgrid(self, ti: int, tj: int) -> tuple[np.ndarray, SpatialGrid]:
+        """Members + dense sub-grid of the 3x3 tile ring around (ti, tj)."""
+        key = self._tile_key(ti, tj)
+        cached = self._subgrids.get(key)
+        if cached is not None:
+            return cached
+        chunks = [
+            members
+            for di in (-1, 0, 1)
+            for dj in (-1, 0, 1)
+            if (members := self._tiles.get(self._tile_key(ti + di, tj + dj)))
+            is not None
+        ]
+        if not chunks:
+            members = _EMPTY
+        else:
+            members = np.sort(np.concatenate(chunks))
+        sub = SpatialGrid(self.positions[members], self.cell_size)
+        self._subgrids[key] = (members, sub)
+        return members, sub
+
+    def _full_grid(self) -> SpatialGrid:
+        if self._full is None:
+            self._full = SpatialGrid(self.positions, self.cell_size)
+        return self._full
+
+    def query(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Ascending superset of the points within ``radius`` of ``center``.
+
+        Same contract as :meth:`SpatialGrid.query`: callers apply their
+        own exact distance test over the candidates.
+        """
+        if self._n == 0:
+            return _EMPTY
+        if radius > self.tile_size:
+            # The 3x3 tile ring no longer covers the disk; fall back to
+            # one shared dense grid (still correct, rarely needed).
+            return self._full_grid().query(center, radius)
+        ti = math.floor(float(center[0]) / self.tile_size)
+        tj = math.floor(float(center[1]) / self.tile_size)
+        members, sub = self._subgrid(ti, tj)
+        if len(members) == 0:
+            return _EMPTY
+        local = sub.query(center, radius)
+        if len(local) == 0:
+            return _EMPTY
+        # members is ascending, so members[local] (local ascending) is too.
+        return members[local]
+
+    def query_radius(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of exactly the points with ``|p - center| < radius``.
+
+        Bit-identical to ``SpatialGrid.query_radius`` (same distance
+        expression over the same values, ascending order).
         """
         idx = self.query(center, radius)
         if len(idx) == 0:

@@ -17,7 +17,14 @@ import numpy as np
 
 from repro.sim.world import World, WorldConfig
 
-__all__ = ["MobilityTraces", "simulate_traces"]
+__all__ = ["MobilityTraces", "simulate_traces", "SWEPT_MIN_VEHICLES"]
+
+#: Fleet size from which ``neighbors`` answers out of a swept
+#: :class:`~repro.net.sweep.ContactIndex` instead of a brute-force
+#: distance scan.  Both paths return bit-identical neighbor sets; the
+#: index amortizes one grid sweep over the whole trace, which only pays
+#: off once per-query O(n) scans dominate.
+SWEPT_MIN_VEHICLES = 48
 
 
 @dataclass
@@ -64,8 +71,34 @@ class MobilityTraces:
         diff = pos[:, None, :] - pos[None, :, :]
         return np.linalg.norm(diff, axis=-1)
 
+    def contact_index(self, radius: float):
+        """Swept :class:`~repro.net.sweep.ContactIndex` for ``radius``.
+
+        Built on first use (one spatial-grid sweep over the whole
+        trace) and memoized per radius; ``getattr``-guarded so traces
+        unpickled from older context caches grow the memo lazily.
+        """
+        from repro.net.sweep import ContactIndex, sweep_encounters
+
+        cache = getattr(self, "_contact_indexes", None)
+        if cache is None:
+            cache = {}
+            self._contact_indexes = cache
+        index = cache.get(float(radius))
+        if index is None:
+            index = ContactIndex(sweep_encounters(self.positions, radius))
+            cache[float(radius)] = index
+        return index
+
     def neighbors(self, vehicle: int, time: float, radius: float) -> list[int]:
-        """Other vehicles within ``radius`` of ``vehicle`` at ``time``."""
+        """Other vehicles within ``radius`` of ``vehicle`` at ``time``.
+
+        Large fleets answer from the swept contact index; small fleets
+        keep the direct scan.  Both return the identical neighbor list
+        (same distance expression, ascending order, ties included).
+        """
+        if self.positions.shape[1] >= SWEPT_MIN_VEHICLES:
+            return self.contact_index(radius).neighbors_at(vehicle, self.index_at(time))
         pos = self.positions[self.index_at(time)]
         dist = np.linalg.norm(pos - pos[vehicle], axis=1)
         return [int(i) for i in np.where(dist <= radius)[0] if i != vehicle]
@@ -127,6 +160,10 @@ def simulate_traces(
         min_route_length=config.min_route_length,
         seed=config.seed + 1,  # decorrelated from data collection
         rural=config.rural,
+        # Map structure must match the collection world (districts stay
+        # off in trace worlds — only geometry shapes the encounters).
+        city_blocks=config.city_blocks,
+        shard_stepping=config.shard_stepping,
     )
     world = World(trace_config)
     world.run(duration)

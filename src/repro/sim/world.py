@@ -11,7 +11,7 @@ from repro.sim.autopilot import ExpertAutopilot
 from repro.sim.kinematics import VehicleState, advance
 from repro.sim.map import TownMap
 from repro.sim.router import RoutePlan, random_route
-from repro.sim.spatial import SpatialGrid
+from repro.sim.spatial import ShardedSpatialGrid, SpatialGrid
 from repro.sim.traffic import TrafficManager, road_obstacles
 
 __all__ = ["WorldConfig", "ExpertVehicle", "World", "CAR_RADIUS", "PED_RADIUS"]
@@ -44,6 +44,15 @@ class WorldConfig:
     #: Skew pedestrian spawn density across districts (heterogeneous
     #: hazard exposure); requires n_districts > 1.
     ped_district_skew: bool = False
+    #: Map structure: 1 keeps the paper's single town grid; s > 1
+    #: builds an s x s city of district grids joined by arterial links
+    #: (pairs naturally with n_districts = s²).
+    city_blocks: int = 1
+    #: Step the world on a sharded spatial grid (sparse coarse tiles
+    #: with lazily-built dense sub-grids).  Query results are
+    #: bit-identical to the dense SpatialGrid; turn on for city-sized
+    #: maps where the dense cell table would be huge.
+    shard_stepping: bool = False
 
 
 @dataclass
@@ -108,6 +117,7 @@ class World:
             grid_n=config.grid_n,
             rural=config.rural,
             seed=config.seed,
+            districts_per_side=config.city_blocks,
         )
         self.time = 0.0
         self._since_snapshot = 0.0
@@ -197,7 +207,11 @@ class World:
                 self.traffic.pedestrian_positions(),
             ]
         )
-        grid = SpatialGrid(everything)
+        grid = (
+            ShardedSpatialGrid(everything)
+            if self.config.shard_stepping
+            else SpatialGrid(everything)
+        )
         # One batched road-occupancy lookup shared by the whole tick
         # (the per-row results equal each query's own candidate lookup).
         on_road = self.town.occupancy_at(everything)

@@ -1,0 +1,140 @@
+"""Property tests for swept contact detection.
+
+The sweep's contract is exact: encounter windows extracted via the
+spatial sort-and-sweep must be *bit-identical* to the all-pairs
+reference — same pairs, same window boundaries, ties on the radius
+included — because city-scale runs route every neighbor query through
+the index while the paper-scale goldens pin the brute path.  Hypothesis
+drives randomized traces (fleet size, duration, spread, radius,
+off-map excursions) through both extractors.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.net.sweep import (
+    ContactIndex,
+    pairwise_encounters,
+    sweep_encounters,
+)
+from repro.sim.traces import SWEPT_MIN_VEHICLES, MobilityTraces
+
+
+@st.composite
+def trace_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=24))
+    n_steps = draw(st.integers(min_value=1, max_value=12))
+    size = draw(st.floats(min_value=20.0, max_value=3000.0))
+    radius = draw(st.floats(min_value=1.0, max_value=800.0))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    # Random-walk positions, some flung off the nominal map (vehicles
+    # are not clipped during simulation).
+    start = rng.uniform(-0.2 * size, 1.2 * size, size=(n, 2))
+    steps = rng.normal(scale=0.05 * size, size=(n_steps, n, 2))
+    positions = start[None, :, :] + np.cumsum(steps, axis=0)
+    return positions, radius
+
+
+class TestSweepMatchesPairwise:
+    @settings(max_examples=200, deadline=None)
+    @given(trace_cases())
+    def test_windows_bit_identical(self, case):
+        positions, radius = case
+        swept = sweep_encounters(positions, radius)
+        reference = pairwise_encounters(positions, radius)
+        assert swept.to_tuples() == reference.to_tuples()
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace_cases(), st.floats(min_value=0.5, max_value=3.0))
+    def test_cell_size_never_changes_windows(self, case, cell_scale):
+        # Any cell size (including ones below the radius, which the
+        # sweep clamps) must yield the same windows.
+        positions, radius = case
+        swept = sweep_encounters(positions, radius, cell_size=cell_scale * radius)
+        assert swept.to_tuples() == pairwise_encounters(positions, radius).to_tuples()
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace_cases())
+    def test_window_invariants(self, case):
+        positions, radius = case
+        windows = sweep_encounters(positions, radius)
+        n_steps = positions.shape[0]
+        assert np.all(windows.pair_i < windows.pair_j)
+        assert np.all(windows.start <= windows.end)
+        assert np.all(windows.start >= 0)
+        assert np.all(windows.end < n_steps)
+        # Windows of the same pair are disjoint and non-adjacent (else
+        # they would have been merged into one maximal window).
+        tuples = windows.to_tuples()
+        for (i1, j1, s1, e1), (i2, j2, s2, e2) in zip(tuples, tuples[1:]):
+            if (i1, j1) == (i2, j2):
+                assert s2 > e1 + 1
+
+
+class TestContactIndex:
+    @settings(max_examples=100, deadline=None)
+    @given(trace_cases(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_neighbors_match_brute_scan(self, case, seed):
+        positions, radius = case
+        index = ContactIndex(sweep_encounters(positions, radius))
+        rng = np.random.default_rng(seed)
+        n_steps, n = positions.shape[0], positions.shape[1]
+        for _ in range(5):
+            v = int(rng.integers(n))
+            k = int(rng.integers(n_steps))
+            pos = positions[k]
+            d = pos - pos[v]
+            dist = np.sqrt(np.add.reduce(d * d, axis=1))
+            brute = [int(i) for i in np.where(dist <= radius)[0] if i != v]
+            assert index.neighbors_at(v, k) == brute
+
+    def test_window_counts(self):
+        rng = np.random.default_rng(7)
+        positions = rng.uniform(0, 200, size=(6, 10, 2))
+        index = ContactIndex(sweep_encounters(positions, 80.0))
+        total = index.window_count()
+        assert total == len(index.windows)
+        # Each window is visible from both endpoints.
+        assert sum(index.window_count(v) for v in range(10)) == 2 * total
+
+
+class TestTracesRouting:
+    def _traces(self, n, seed=11):
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(0, 600, size=(9, n, 2))
+        return MobilityTraces(
+            vehicle_ids=[f"v{i}" for i in range(n)],
+            times=np.arange(9) * 0.5,
+            positions=positions,
+        )
+
+    def test_small_fleet_stays_on_brute_path(self):
+        traces = self._traces(SWEPT_MIN_VEHICLES - 1)
+        traces.neighbors(0, 1.0, 150.0)
+        assert not getattr(traces, "_contact_indexes", {})
+
+    def test_large_fleet_uses_index_and_matches_brute(self):
+        n = SWEPT_MIN_VEHICLES
+        traces = self._traces(n)
+        radius = 150.0
+        for v in (0, n // 2, n - 1):
+            for t in (0.0, 1.2, 4.0):
+                got = traces.neighbors(v, t, radius)
+                k = traces.index_at(t)
+                pos = traces.positions[k]
+                d = pos - pos[v]
+                dist = np.sqrt(np.add.reduce(d * d, axis=1))
+                want = [int(i) for i in np.where(dist <= radius)[0] if i != v]
+                assert got == want
+        assert traces._contact_indexes  # the index memo was built
+
+    def test_index_memo_is_per_radius(self):
+        traces = self._traces(SWEPT_MIN_VEHICLES)
+        a = traces.contact_index(100.0)
+        b = traces.contact_index(250.0)
+        assert a is traces.contact_index(100.0)
+        assert a is not b
