@@ -54,6 +54,14 @@ within a process).  Record the repo-root artifact with:
     PYTHONPATH=src python scripts/bench_hotpath.py --suite cityscale \
         --update-section cityscale --out BENCH_cityscale.json
 
+``--suite stepshard`` measures within-run step sharding (ISSUE 9):
+the paper-scale training segment at 1/2/4 step workers, the end-to-end
+smoke run serial vs sharded, and the auto-tuner's pick for this host —
+the artifact behind ``BENCH_stepshard.json``:
+
+    PYTHONPATH=src python scripts/bench_hotpath.py --suite stepshard \
+        --out BENCH_stepshard.json
+
 ``--suite worldsim`` instead times the world-simulation hot path at
 paper scale (332 agents): ``World.step``, one tick's worth of
 ``road_obstacles`` neighbor queries, ``render_bev``, per-snapshot fleet
@@ -462,6 +470,95 @@ def bench_cityscale() -> dict[str, float]:
     return out
 
 
+STEPSHARD_WORKERS = (1, 2, 4)
+
+
+def bench_stepshard() -> dict[str, float]:
+    """Within-run step sharding (ISSUE 9): per-worker-count scaling.
+
+    Results are bit-identical for every worker count (gated by
+    ``scripts/stepshard_smoke.py``), so this suite is purely about
+    wall-clock: the paper-scale training segment at 1/2/4 step workers,
+    the end-to-end smoke run serial vs sharded, and what the throughput
+    auto-tuner picks for this host.  Numbers are honest for the machine
+    they ran on — ``host_cores`` is part of the report because sharding
+    cannot beat serial on fewer cores than workers.
+    """
+    import os
+    from dataclasses import replace as dc_replace
+
+    from repro.core.fleet import FleetEngine
+    from repro.core.node import NodeConfig, VehicleNode
+    from repro.engine.random import spawn_rng
+    from repro.experiments.configs import PAPER
+    from repro.experiments.runner import RunSpec, build_context, run_method
+    from repro.nn import make_driving_model
+    from repro.parallel.autotune import autotune
+
+    out: dict[str, float] = {"host_cores": float(os.cpu_count() or 1)}
+
+    def build_fleet(step_workers):
+        config = NodeConfig(
+            coreset_size=50, learning_rate=1e-3, batch_size=PAPER.batch_size
+        )
+        base = make_dataset(bev_shape=PAPER.bev.shape)
+        nodes = [
+            VehicleNode(
+                f"shard{i}",
+                make_driving_model(
+                    PAPER.bev.shape, N_WAYPOINTS, hidden=PAPER.hidden, seed=0
+                ),
+                base.copy(),
+                config,
+                spawn_rng(7, f"shard-{i}"),
+            )
+            for i in range(PAPER.world.n_vehicles)
+        ]
+        return FleetEngine(nodes, step_workers=step_workers)
+
+    # The acceptance-criteria segment: one lock-step training instant at
+    # paper scale (32 vehicles, hidden=96, 20x20 BEV, 64-sample batches),
+    # timed over five rounds, per worker count.
+    for workers in STEPSHARD_WORKERS:
+        engine = build_fleet(workers)
+        try:
+
+            def rounds():
+                for _ in range(5):
+                    engine.train_step_all()
+
+            out[f"paper_train_segment_{workers}w_s"] = _time(rounds, repeat=3) / 5.0
+        finally:
+            engine.close()
+    base_s = out["paper_train_segment_1w_s"]
+    for workers in STEPSHARD_WORKERS[1:]:
+        sharded_s = out[f"paper_train_segment_{workers}w_s"]
+        if sharded_s > 0:
+            out[f"speedup_{workers}w"] = round(base_s / sharded_s, 2)
+
+    # End-to-end: the stepshard-smoke world (batch 16, so the pool
+    # engages) serial vs sharded.
+    sys.path.insert(0, str(Path(__file__).parent))
+    from stepshard_smoke import build_scale as stepshard_scale
+
+    context = build_context(stepshard_scale())
+    for workers in (1, 2):
+        overrides = {"step_workers": workers} if workers != 1 else {}
+        spec = RunSpec.for_context(context, "LbChat", seed=3, overrides=overrides)
+        t0 = time.perf_counter()
+        run_method(context, spec)
+        out[f"run_lbchat_smoke_{workers}w_s"] = time.perf_counter() - t0
+
+    # What `--step-workers auto` would pick here (fresh measurement, not
+    # the cached result) plus its probe evidence.
+    tuned = autotune(force=True)
+    out["autotune_step_workers"] = float(tuned.step_workers)
+    out["autotune_adam_chunk"] = float(tuned.adam_chunk)
+    for workers, rate in tuned.get("throughput", {}).items():
+        out[f"autotune_probe_{workers}w_node_steps_per_s"] = round(rate, 1)
+    return out
+
+
 def bench_checkpoint() -> dict[str, float]:
     """Barrier-checkpointing overhead on the hotpath-smoke world."""
     import tempfile
@@ -559,6 +656,22 @@ _SUITE_DESCRIPTIONS = {
         "size. Each size runs in its own subprocess, so peak_rss_mb "
         "is per-size (ru_maxrss is monotonic within a process)."
     ),
+    "stepshard": (
+        "Within-run step sharding (ISSUE 9): one run's batched fleet "
+        "training step executed by a pool of forked workers over "
+        "shared-memory parameter banks, each owning a contiguous range "
+        "of node rows. Results are bit-identical for every worker "
+        "count (scripts/stepshard_smoke.py gates that), so this suite "
+        "measures wall-clock only: paper_train_segment_Nw_s is one "
+        "lock-step training instant at paper scale (32 vehicles, "
+        "hidden=96, 20x20 BEV, 64-sample batches) with N step workers; "
+        "run_lbchat_smoke_Nw_s is the end-to-end stepshard-smoke LbChat "
+        "run; autotune_* is what --step-workers auto picks for this "
+        "host with its probe evidence. host_cores qualifies every "
+        "number — speedup over serial requires at least as many free "
+        "cores as workers, and on a single-core host the expected "
+        "result is a slowdown (pipe round-trips buy no parallelism)."
+    ),
     "checkpoint": (
         "Barrier-checkpointing overhead (ISSUE 6) on the hotpath-smoke "
         "world (3 vehicles, 40 s training horizon, barriers every 10 "
@@ -601,13 +714,17 @@ def main() -> int:
     parser.add_argument(
         "--suite",
         default="components",
-        choices=("components", "worldsim", "checkpoint", "fleet", "cityscale"),
+        choices=(
+            "components", "worldsim", "checkpoint", "fleet", "cityscale",
+            "stepshard",
+        ),
         help="components: ISSUE 4 data-layer suite; worldsim: ISSUE 5 "
         "paper-scale world-simulation suite (includes paper_context_build); "
         "checkpoint: ISSUE 6 barrier-checkpointing overhead suite; "
         "fleet: ISSUE 7 fleet-batched training suite (see --fleet-mode); "
         "cityscale: ISSUE 8 constant-density contact + sharded-stepping "
-        "suite at 32/128/512 vehicles",
+        "suite at 32/128/512 vehicles; stepshard: ISSUE 9 within-run "
+        "step-worker scaling + autotune suite",
     )
     parser.add_argument(
         "--cityscale-size",
@@ -661,6 +778,8 @@ def main() -> int:
         timings = bench_fleet(batched=args.fleet_mode == "batched")
     elif args.suite == "cityscale":
         timings = bench_cityscale()
+    elif args.suite == "stepshard":
+        timings = bench_stepshard()
     else:
         timings = bench_components()
         if args.e2e != "none":

@@ -89,6 +89,12 @@ def spec_fingerprint(spec) -> str:
     """Deterministic hash of everything that influences the run's results."""
     payload = spec_payload(spec)
     del payload["use_cache"]  # context resolution strategy, not identity
+    # step_workers is an execution strategy too (results are bit-identical
+    # for every worker count), so a checkpoint written at one worker count
+    # must resume under any other — it cannot enter the fingerprint.
+    overrides = dict(payload.get("overrides") or {})
+    overrides.pop("step_workers", None)
+    payload["overrides"] = overrides
     blob = json.dumps(payload, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()[:16]
 

@@ -18,6 +18,7 @@ loads it lazily (see the package ``__getattr__``).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
 from repro.checkpoint.format import CheckpointError, spec_from_payload
@@ -67,11 +68,21 @@ def load_spec(run_dir: str | Path):
     )
 
 
-def resume_run_dir(run_dir: str | Path):
-    """Continue the run stored in ``run_dir`` (the ``repro resume`` verb)."""
+def resume_run_dir(run_dir: str | Path, step_workers: int | None = None):
+    """Continue the run stored in ``run_dir`` (the ``repro resume`` verb).
+
+    ``step_workers`` overrides the recorded worker count for the
+    continuation — results are bit-identical for every value (and the
+    run-dir fingerprint excludes it), so a run checkpointed serially can
+    finish sharded and vice versa.
+    """
     from repro.parallel.worker import resolve_context
 
     spec = load_spec(run_dir)
+    if step_workers is not None:
+        overrides = dict(spec.overrides)
+        overrides["step_workers"] = int(step_workers)
+        spec = replace(spec, overrides=overrides)
     context = resolve_context(spec)
     return run_with_checkpoints(
         context, spec, store=RunStore(Path(run_dir).resolve().parent)

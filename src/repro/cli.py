@@ -40,6 +40,22 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_step_workers_arg(parser: argparse.ArgumentParser, default: str = "1") -> None:
+    parser.add_argument(
+        "--step-workers", default=default, metavar="N|auto",
+        help="shard each run's fleet training step across N forked workers "
+        "over shared-memory banks ('auto' = measured per-host tuning); "
+        "results are bit-identical for every value",
+    )
+
+
+def _step_workers(args: argparse.Namespace) -> int:
+    """Resolve the --step-workers flag ('auto' probes/reads the host cache)."""
+    from repro.parallel import resolve_step_workers
+
+    return resolve_step_workers(args.step_workers)
+
+
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every single-training-run command (run, trace)."""
     parser.add_argument("--method", default="LbChat")
@@ -60,6 +76,7 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         help="checkpoint store root (default .repro_cache/checkpoints)",
     )
     _add_jobs_arg(parser)
+    _add_step_workers_arg(parser)
 
 
 def _cmd_scales(args: argparse.Namespace) -> int:
@@ -78,12 +95,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.parallel import run_specs
 
     scale = get_scale(args.scale)
+    workers = _step_workers(args)
     spec = RunSpec(
         method=args.method,
         scale=scale,
         wireless=args.wireless,
         seed=args.seed,
         coreset_size=args.coreset_size,
+        overrides={"step_workers": workers} if workers != 1 else {},
         use_cache=args.cache,
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
@@ -115,7 +134,8 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.checkpoint import resume_run_dir
 
     print(f"Resuming run from {args.run_dir}...")
-    result = resume_run_dir(args.run_dir)
+    workers = None if args.step_workers is None else _step_workers(args)
+    result = resume_run_dir(args.run_dir, step_workers=workers)
     _render_result(args, result)
     return 0
 
@@ -133,7 +153,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
     }[args.number]
     print(f"Reproducing Table {args.number} at scale {args.scale} "
           "(trains every required method; this takes a while)...")
-    result = fn(args.scale, seed=args.seed, jobs=args.jobs)
+    result = fn(args.scale, seed=args.seed, jobs=args.jobs,
+                step_workers=_step_workers(args))
     print(result.render())
     if result.receive_rates:
         print("\nreceive rates: " + ", ".join(
@@ -147,10 +168,14 @@ def _cmd_fig(args: argparse.Namespace) -> int:
 
     if args.which in ("2a", "2b"):
         result = figures.fig2(
-            args.scale, wireless=args.which == "2b", seed=args.seed, jobs=args.jobs
+            args.scale, wireless=args.which == "2b", seed=args.seed, jobs=args.jobs,
+            step_workers=_step_workers(args),
         )
     else:
-        result = figures.fig3(args.scale, seed=args.seed, jobs=args.jobs)
+        result = figures.fig3(
+            args.scale, seed=args.seed, jobs=args.jobs,
+            step_workers=_step_workers(args),
+        )
     print(result.render())
     return 0
 
@@ -158,7 +183,10 @@ def _cmd_fig(args: argparse.Namespace) -> int:
 def _cmd_rates(args: argparse.Namespace) -> int:
     from repro.experiments.figures import receive_rates
 
-    rates = receive_rates(args.scale, seed=args.seed, jobs=args.jobs)
+    rates = receive_rates(
+        args.scale, seed=args.seed, jobs=args.jobs,
+        step_workers=_step_workers(args),
+    )
     print("Successful model receiving rate (w wireless loss)")
     for method, rate in rates.items():
         print(f"  {method:10s} {100 * rate:5.1f}%")
@@ -212,11 +240,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.telemetry import TelemetrySession, export_jsonl, report_session
 
     scale = get_scale(args.scale)
+    workers = _step_workers(args)
     spec = RunSpec(
         method=args.method,
         scale=scale,
         wireless=args.wireless,
         seed=args.seed,
+        overrides={"step_workers": workers} if workers != 1 else {},
         use_cache=args.cache,
     )
     print(f"Tracing {args.method} (scale={args.scale}, wireless={args.wireless})...")
@@ -301,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("resume", help="continue a checkpointed run from its run directory")
     p.add_argument("run_dir", help="checkpoint run directory (contains run.json)")
+    _add_step_workers_arg(p, default=None)
     p.add_argument("--out", default=None, help="archive run results to JSON")
     p.add_argument("--save-model", default=None, help="write a model checkpoint (.npz)")
     p.set_defaults(fn=_cmd_resume)
@@ -310,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arg(p)
     p.add_argument("--seed", type=int, default=1)
     _add_jobs_arg(p)
+    _add_step_workers_arg(p)
     p.set_defaults(fn=_cmd_table)
 
     p = sub.add_parser("fig", help="reproduce a paper figure")
@@ -317,12 +349,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arg(p)
     p.add_argument("--seed", type=int, default=1)
     _add_jobs_arg(p)
+    _add_step_workers_arg(p)
     p.set_defaults(fn=_cmd_fig)
 
     p = sub.add_parser("rates", help="§IV-C receive-rate comparison")
     _add_scale_arg(p)
     p.add_argument("--seed", type=int, default=1)
     _add_jobs_arg(p)
+    _add_step_workers_arg(p)
     p.set_defaults(fn=_cmd_rates)
 
     p = sub.add_parser("scenario", help="run stress scenarios on a checkpoint")

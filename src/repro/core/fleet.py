@@ -18,14 +18,26 @@ tensors live, not what any protocol sees.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.node import _EVAL_CHUNK, VehicleNode
+from repro.nn._fused import fused_adam_step
 from repro.nn.bank import FleetAdam, FleetWaypointNet, ParamBank, RowAdam
 from repro.nn.losses import fleet_waypoint_l1, waypoint_l1
 from repro.nn.model import WaypointNet
 from repro.nn.optim import Adam
+from repro.parallel.stepshard import (
+    ShmArena,
+    StepShard,
+    StepWorkerError,
+    StepWorkerPool,
+    fork_available,
+    partition_rows,
+)
 from repro.sim.dataset import DrivingDataset
+from repro.telemetry import hooks
 
 __all__ = ["FleetEngine", "FleetIncompatible"]
 
@@ -46,7 +58,7 @@ class FleetEngine:
     per-node training gracefully.
     """
 
-    def __init__(self, nodes: list[VehicleNode]):
+    def __init__(self, nodes: list[VehicleNode], step_workers: int = 1):
         if len(nodes) < 2:
             raise FleetIncompatible("fleet batching needs at least two nodes")
         first = nodes[0]
@@ -65,9 +77,40 @@ class FleetEngine:
             o = node.optimizer
             if (o.lr, o.beta1, o.beta2, o.eps, o.weight_decay) != key:
                 raise FleetIncompatible("nodes disagree on Adam hyperparameters")
+        # When step sharding is requested (and the platform can fork),
+        # the parameter/gradient banks and Adam state go into one shared
+        # memory arena so forked workers can update their rows in place.
+        n = len(nodes)
+        requested = max(1, int(step_workers))
+        if requested > 1 and not fork_available():
+            warnings.warn(
+                "step_workers requires the fork start method; "
+                "falling back to serial fleet stepping",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            requested = 1
+        self.step_workers = requested
+        allocator = None
+        self._bank_arena: ShmArena | None = None
+        if requested > 1:
+            n_params = sum(
+                int(np.prod(p.data.shape)) if p.data.shape else 1
+                for p in first.model.parameters()
+            )
+            self._bank_arena = ShmArena(
+                ShmArena.bytes_for(
+                    ((n, n_params), np.float32),  # bank.flat
+                    ((n, n_params), np.float32),  # bank.grad_flat
+                    ((n, n_params), np.float32),  # optim.m
+                    ((n, n_params), np.float32),  # optim.v
+                    ((n,), np.int64),  # optim.steps
+                )
+            )
+            allocator = self._bank_arena.alloc
         # Validate everything (structure, batchable layer types) before
         # mutating any node, so a failed build leaves the fleet intact.
-        bank = ParamBank(first.model, len(nodes))
+        bank = ParamBank(first.model, len(nodes), allocator=allocator)
         try:
             model = FleetWaypointNet(bank, first.model)
             for node in nodes:
@@ -83,6 +126,7 @@ class FleetEngine:
             betas=(opt.beta1, opt.beta2),
             eps=opt.eps,
             weight_decay=opt.weight_decay,
+            allocator=allocator,
         )
         for row, node in enumerate(nodes):
             self.optim.node_restore(row, node.optimizer.snapshot())
@@ -94,12 +138,21 @@ class FleetEngine:
         self._pending: np.ndarray | None = None
         self._consumed = np.ones(len(nodes), dtype=bool)
         self._batch_bufs: tuple[np.ndarray, ...] | None = None
+        # The worker pool spawns lazily at the first full-size batched
+        # step (the stacked batch shapes are only known then).
+        self._pool: StepWorkerPool | None = None
+        self._pool_failed = requested <= 1
+        self._batch_arena: ShmArena | None = None
+        self._shm_batch: tuple[np.ndarray, ...] | None = None
+        self._shm_losses: np.ndarray | None = None
 
     @classmethod
-    def try_build(cls, nodes: list[VehicleNode]) -> "FleetEngine | None":
+    def try_build(
+        cls, nodes: list[VehicleNode], step_workers: int = 1
+    ) -> "FleetEngine | None":
         """A :class:`FleetEngine`, or ``None`` if the fleet can't batch."""
         try:
-            return cls(nodes)
+            return cls(nodes, step_workers=step_workers)
         except FleetIncompatible:
             return None
 
@@ -143,6 +196,11 @@ class FleetEngine:
             return np.array(
                 [self._train_detached(node, s) for node, s in zip(nodes, samples)]
             )
+        b = samples[0][0].shape[0]
+        if not self._pool_failed and b == nodes[0].config.batch_size:
+            losses = self._pool_step(samples, b)
+            if losses is not None:
+                return losses
         bev, commands, targets = self._stack_batches(samples)
         pred = self.model.forward(bev, commands)
         scalars, _, grad = fleet_waypoint_l1(pred, targets)
@@ -189,6 +247,101 @@ class FleetEngine:
         node.train_steps += 1
         node._steps_since_refresh += 1
         return scalar
+
+    # -- step-worker pool ----------------------------------------------------
+
+    def _spawn_pool(self, samples: list) -> None:
+        """Fork the step-worker pool around the first full-size batch.
+
+        Allocates the shared batch/loss buffers (shapes are known now),
+        slices the bank and optimizer into contiguous row shards, warms
+        the fused Adam kernel so workers inherit the loaded library
+        instead of racing to compile, and forks one worker per shard.
+        Failure to spawn degrades to serial batched stepping.
+        """
+        n = len(self.nodes)
+        try:
+            specs = [((n, *samples[0][k].shape), samples[0][k].dtype) for k in range(3)]
+            arena = ShmArena(ShmArena.bytes_for(*specs, ((n,), np.float64)))
+            bufs = tuple(arena.alloc(shape, dtype) for shape, dtype in specs)
+            losses = arena.alloc((n,), np.float64)
+            fused_adam_step()
+            template = self.nodes[0].model
+            shards = []
+            for i, (lo, hi) in enumerate(partition_rows(n, self.step_workers)):
+                bank_slice = self.bank.slice_rows(lo, hi)
+                shards.append(
+                    StepShard(
+                        i,
+                        lo,
+                        hi,
+                        FleetWaypointNet(bank_slice, template),
+                        self.optim.slice_rows(lo, hi, bank_slice),
+                        *bufs,
+                        losses,
+                    )
+                )
+            pool = StepWorkerPool(shards)
+        except (StepWorkerError, OSError, MemoryError) as exc:
+            warnings.warn(
+                f"could not spawn step workers ({exc}); "
+                "falling back to serial fleet stepping",
+                RuntimeWarning,
+            )
+            self._pool_failed = True
+            return
+        self._batch_arena = arena
+        self._shm_batch = bufs
+        self._shm_losses = losses
+        self._pool = pool
+        hooks.count("stepshard.pools_spawned")
+        hooks.set_gauge("stepshard.workers", pool.n_workers)
+
+    def _pool_step(self, samples: list, b: int) -> np.ndarray | None:
+        """One sharded batched step; None routes to the serial path.
+
+        The parent has already drawn every node's minibatch (keeping all
+        RNG consumption in one process, in row order); here it stages the
+        stacked batch into the shared buffers and fans the step command
+        out to the workers, which update their disjoint bank rows in
+        place.  The per-node losses land in shared memory — returning a
+        copy *is* the merge.
+        """
+        if self._pool is None:
+            self._spawn_pool(samples)
+            if self._pool is None:
+                return None
+        bev, commands, targets = self._shm_batch
+        if samples[0][0].shape != bev.shape[1:]:
+            # Batch geometry changed mid-run (never in the event loop);
+            # the pre-sized shared buffers can't take it — step serially.
+            return None
+        for row, sample in enumerate(samples):
+            bev[row] = sample[0]
+            commands[row] = sample[1]
+            targets[row] = sample[2]
+        self._pool.step(b)
+        hooks.count("stepshard.steps")
+        for node in self.nodes:
+            node.model_version += 1
+            node.train_steps += 1
+            node._steps_since_refresh += 1
+        return self._shm_losses.copy()
+
+    def close(self) -> None:
+        """Stop the step workers (if any) and merge their telemetry.
+
+        Idempotent; the engine keeps working afterwards on the serial
+        batched path (the banks themselves stay valid — they are views
+        into an arena this object owns).
+        """
+        pool, self._pool = self._pool, None
+        self._pool_failed = True
+        if pool is None:
+            return
+        for shard, counters in pool.close().items():
+            for name, value in counters.items():
+                hooks.count(f"stepshard.shard{shard}.{name}", value)
 
     # -- evaluation ----------------------------------------------------------
 

@@ -88,6 +88,11 @@ class TrainerConfig:
     #: resident memory; the budget keeps the newest records and counts
     #: the evicted ones.
     chat_log_budget: int = 0
+    #: Shard each batched fleet step across this many forked worker
+    #: processes over shared-memory banks (:mod:`repro.parallel.stepshard`).
+    #: Purely an execution strategy: results are bit-identical for every
+    #: value.  1 = serial; ignored without :attr:`fleet_batching`.
+    step_workers: int = 1
 
 
 class TrainerBase:
@@ -135,7 +140,9 @@ class TrainerBase:
         if config.fleet_batching:
             from repro.core.fleet import FleetEngine
 
-            self.fleet = FleetEngine.try_build(nodes)
+            self.fleet = FleetEngine.try_build(
+                nodes, step_workers=config.step_workers
+            )
 
     def note_transfer_window(self, i: int, j: int, duration: float) -> None:
         """Register a chat's airtime with the contention tracker (if on)."""
@@ -326,9 +333,13 @@ class TrainerBase:
             activities.sort(key=lambda item: (item[0], item[1]))
         for _, _, gen in activities:
             self.sim.process(gen)
-        self.sim.run(until=cfg.duration)
-        # Final snapshot so curves end exactly at T.
-        self.record_losses()
+        try:
+            self.sim.run(until=cfg.duration)
+            # Final snapshot so curves end exactly at T.
+            self.record_losses()
+        finally:
+            if self.fleet is not None:
+                self.fleet.close()
         telemetry.on_run_finished(self)
 
     # -- checkpointing ------------------------------------------------------------

@@ -21,6 +21,11 @@ __all__ = ["FigureResult", "fig2", "fig3", "receive_rates"]
 FIG2_METHODS = ("ProxSkip", "RSU-L", "DFL-DDS", "DP", "LbChat")
 
 
+def _overrides(step_workers: int) -> dict:
+    """Trainer-config overrides for a worker-count choice (1 = none)."""
+    return {"step_workers": int(step_workers)} if step_workers != 1 else {}
+
+
 @dataclass
 class FigureResult:
     """A reproduced loss-vs-time figure."""
@@ -54,12 +59,16 @@ def _method_curves(
     seed: int,
     n_points: int,
     jobs: int,
+    step_workers: int = 1,
 ) -> dict[str, np.ndarray]:
     """One loss curve per method, trained serially or across workers."""
     context = build_context(scale)
     register_context(context)
     specs = [
-        RunSpec.for_context(context, method, wireless=wireless, seed=seed)
+        RunSpec.for_context(
+            context, method, wireless=wireless, seed=seed,
+            overrides=_overrides(step_workers),
+        )
         for method in methods
     ]
     results = run_specs(specs, jobs=jobs)
@@ -75,11 +84,14 @@ def fig2(
     seed: int = 1,
     n_points: int = 21,
     jobs: int = 1,
+    step_workers: int = 1,
 ) -> FigureResult:
     """Fig. 2(a) (wireless=False) / Fig. 2(b) (wireless=True)."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
     grid = np.linspace(0.0, scale.train_duration, n_points)
-    curves = _method_curves(FIG2_METHODS, scale, wireless, seed, n_points, jobs)
+    curves = _method_curves(
+        FIG2_METHODS, scale, wireless, seed, n_points, jobs, step_workers
+    )
     label = "w" if wireless else "w/o"
     return FigureResult(
         title=f"Fig. 2: training loss vs. time ({label} wireless loss)",
@@ -94,25 +106,32 @@ def fig3(
     seed: int = 1,
     n_points: int = 21,
     jobs: int = 1,
+    step_workers: int = 1,
 ) -> FigureResult:
     """Fig. 3: LbChat vs SCO convergence speed."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
     grid = np.linspace(0.0, scale.train_duration, n_points)
-    curves = _method_curves(("LbChat", "SCO"), scale, wireless, seed, n_points, jobs)
+    curves = _method_curves(
+        ("LbChat", "SCO"), scale, wireless, seed, n_points, jobs, step_workers
+    )
     return FigureResult(
         title="Fig. 3: training loss vs. time (LbChat & SCO)", grid=grid, curves=curves
     )
 
 
 def receive_rates(
-    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
+    step_workers: int = 1,
 ) -> dict[str, float]:
     """§IV-C: successful model receiving rate per method, under loss."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
     context = build_context(scale)
     register_context(context)
     specs = [
-        RunSpec.for_context(context, method, wireless=True, seed=seed)
+        RunSpec.for_context(
+            context, method, wireless=True, seed=seed,
+            overrides=_overrides(step_workers),
+        )
         for method in FIG2_METHODS
     ]
     results = run_specs(specs, jobs=jobs)

@@ -36,6 +36,11 @@ CONDITIONS = [cond.value for cond in DrivingCondition]
 MAIN_METHODS = ("ProxSkip", "RSU-L", "DFL-DDS", "DP", "LbChat")
 
 
+def _overrides(step_workers: int) -> dict:
+    """Trainer-config overrides for a worker-count choice (1 = none)."""
+    return {"step_workers": int(step_workers)} if step_workers != 1 else {}
+
+
 @dataclass
 class TableResult:
     """A reproduced table: values indexed [condition][column]."""
@@ -86,12 +91,14 @@ def success_table(
     seed: int = 1,
     coreset_sizes: dict[str, int] | None = None,
     jobs: int = 1,
+    step_workers: int = 1,
 ) -> TableResult:
     """Train ``methods`` and online-evaluate each into one table.
 
     ``coreset_sizes`` optionally overrides the coreset size per column
     label (Table IV); ``jobs`` fans the training runs out to worker
-    processes.
+    processes, and ``step_workers`` shards each run's fleet stepping
+    (results are bit-identical for every value of either).
     """
     specs = []
     for column in methods:
@@ -102,14 +109,16 @@ def success_table(
             coreset_size = coreset_sizes[column]
         specs.append(
             RunSpec.for_context(
-                context, method, wireless=wireless, seed=seed, coreset_size=coreset_size
+                context, method, wireless=wireless, seed=seed,
+                coreset_size=coreset_size, overrides=_overrides(step_workers),
             )
         )
     return _assemble(title, list(methods), specs, context, seed, jobs)
 
 
 def table2(
-    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
+    step_workers: int = 1,
 ) -> TableResult:
     """Table II: success rate without wireless loss, all five methods."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
@@ -121,11 +130,13 @@ def table2(
         wireless=False,
         seed=seed,
         jobs=jobs,
+        step_workers=step_workers,
     )
 
 
 def table3(
-    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
+    step_workers: int = 1,
 ) -> TableResult:
     """Table III: success rate with wireless loss, all five methods."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
@@ -137,6 +148,7 @@ def table3(
         wireless=True,
         seed=seed,
         jobs=jobs,
+        step_workers=step_workers,
     )
 
 
@@ -145,6 +157,7 @@ def table4(
     seed: int = 1,
     sizes: tuple[int, int] | None = None,
     jobs: int = 1,
+    step_workers: int = 1,
 ) -> TableResult:
     """Table IV: LbChat with 10x and 1/10x the default coreset size.
 
@@ -157,7 +170,8 @@ def table4(
     columns = [f"{large} (W/O)", f"{small} (W/O)", f"{large} (W)", f"{small} (W)"]
     specs = [
         RunSpec.for_context(
-            context, "LbChat", wireless=wireless, seed=seed, coreset_size=size
+            context, "LbChat", wireless=wireless, seed=seed, coreset_size=size,
+            overrides=_overrides(step_workers),
         )
         for size, wireless in ((large, False), (small, False), (large, True), (small, True))
     ]
@@ -172,20 +186,25 @@ def table4(
 
 
 def _ablation_table(
-    title: str, method: str, scale: ExperimentScale | str, seed: int, jobs: int = 1
+    title: str, method: str, scale: ExperimentScale | str, seed: int,
+    jobs: int = 1, step_workers: int = 1,
 ) -> TableResult:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     context = build_context(scale)
     columns = ["W/O wireless loss", "W wireless loss"]
     specs = [
-        RunSpec.for_context(context, method, wireless=wireless, seed=seed)
+        RunSpec.for_context(
+            context, method, wireless=wireless, seed=seed,
+            overrides=_overrides(step_workers),
+        )
         for wireless in (False, True)
     ]
     return _assemble(title, columns, specs, context, seed, jobs)
 
 
 def table5(
-    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
+    step_workers: int = 1,
 ) -> TableResult:
     """Table V: LbChat with equal compression ratios (Eq. 7 masked)."""
     return _ablation_table(
@@ -194,11 +213,13 @@ def table5(
         scale,
         seed,
         jobs,
+        step_workers,
     )
 
 
 def table6(
-    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
+    step_workers: int = 1,
 ) -> TableResult:
     """Table VI: LbChat with plain averaging (Eq. 8 masked)."""
     return _ablation_table(
@@ -207,11 +228,13 @@ def table6(
         scale,
         seed,
         jobs,
+        step_workers,
     )
 
 
 def table7(
-    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1
+    scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
+    step_workers: int = 1,
 ) -> TableResult:
     """Table VII: sharing coresets only (SCO)."""
     return _ablation_table(
@@ -220,4 +243,5 @@ def table7(
         scale,
         seed,
         jobs,
+        step_workers,
     )

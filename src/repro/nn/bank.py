@@ -42,6 +42,11 @@ from repro.nn.layers import Conv2d, Flatten, Linear, ReLU
 from repro.nn.model import N_COMMANDS, WaypointNet
 from repro.nn.params import Parameter
 
+def _zeros(shape: tuple[int, ...], dtype) -> np.ndarray:
+    """Default bank allocator: ordinary zeroed process memory."""
+    return np.zeros(shape, dtype=dtype)
+
+
 __all__ = [
     "ParamBank",
     "FleetLinear",
@@ -61,11 +66,18 @@ class ParamBank:
     row, parameters appear in ``model.parameters()`` order, each raveled
     C-style.  ``views[k]``/``grad_views[k]`` expose parameter ``k`` of
     every node as a ``(n_nodes, *shape)`` view into the bank.
+
+    ``allocator`` controls where the backing matrices live: the default
+    is ordinary process-private memory; the step-worker pool passes a
+    :class:`~repro.parallel.stepshard.ShmArena` allocator so the banks
+    live in ``multiprocessing.shared_memory`` and forked workers update
+    disjoint row ranges in place (see :meth:`slice_rows`).
     """
 
-    def __init__(self, template, n_nodes: int):
+    def __init__(self, template, n_nodes: int, *, allocator=None):
         if n_nodes <= 0:
             raise ValueError(f"bank needs at least one node: {n_nodes}")
+        alloc = allocator if allocator is not None else _zeros
         params = template.parameters()
         self.n_nodes = n_nodes
         self.specs: list[tuple[str, tuple[int, ...]]] = [
@@ -73,17 +85,42 @@ class ParamBank:
         ]
         sizes = [int(np.prod(shape)) if shape else 1 for _, shape in self.specs]
         self.n_params = int(sum(sizes))
-        self.flat = np.zeros((n_nodes, self.n_params), dtype=np.float32)
-        self.grad_flat = np.zeros_like(self.flat)
+        self.flat = alloc((n_nodes, self.n_params), np.float32)
+        self.grad_flat = alloc((n_nodes, self.n_params), np.float32)
+        self._build_views()
+
+    def _build_views(self) -> None:
+        n_nodes = self.n_nodes
         self.views: list[np.ndarray] = []
         self.grad_views: list[np.ndarray] = []
         offset = 0
-        for (_, shape), size in zip(self.specs, sizes):
+        for _, shape in self.specs:
+            size = int(np.prod(shape)) if shape else 1
             self.views.append(self.flat[:, offset : offset + size].reshape((n_nodes, *shape)))
             self.grad_views.append(
                 self.grad_flat[:, offset : offset + size].reshape((n_nodes, *shape))
             )
             offset += size
+
+    def slice_rows(self, lo: int, hi: int) -> "ParamBank":
+        """A zero-copy bank over rows ``[lo, hi)`` of this bank.
+
+        The slice shares storage with the parent — every array is a view
+        — so a :class:`FleetWaypointNet` built over it trains those rows
+        in place.  Row ranges are the step-sharding unit: every batched
+        op in this module is independent per leading (node) index, so
+        partitioning rows across workers cannot reorder any float op.
+        """
+        if not (0 <= lo < hi <= self.n_nodes):
+            raise ValueError(f"invalid row range [{lo}, {hi}) for {self.n_nodes} rows")
+        bank = ParamBank.__new__(ParamBank)
+        bank.n_nodes = hi - lo
+        bank.n_params = self.n_params
+        bank.specs = self.specs
+        bank.flat = self.flat[lo:hi]
+        bank.grad_flat = self.grad_flat[lo:hi]
+        bank._build_views()
+        return bank
 
     @classmethod
     def from_models(cls, models: list) -> "ParamBank":
@@ -443,20 +480,43 @@ class FleetAdam:
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        *,
+        allocator=None,
     ):
         if lr <= 0:
             raise ValueError(f"learning rate must be positive: {lr}")
         if weight_decay < 0:
             raise ValueError(f"weight decay must be non-negative: {weight_decay}")
+        alloc = allocator if allocator is not None else _zeros
         self.bank = bank
         self.lr = lr
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
-        self.steps = np.zeros(bank.n_nodes, dtype=np.int64)
-        self.m = np.zeros_like(bank.flat)
-        self.v = np.zeros_like(bank.flat)
+        self.steps = alloc((bank.n_nodes,), np.int64)
+        self.m = alloc((bank.n_nodes, bank.n_params), np.float32)
+        self.v = alloc((bank.n_nodes, bank.n_params), np.float32)
         self._scratch: np.ndarray | None = None
+
+    def slice_rows(self, lo: int, hi: int, bank_slice: ParamBank) -> "FleetAdam":
+        """A zero-copy optimizer over rows ``[lo, hi)`` of this optimizer.
+
+        ``bank_slice`` must be ``self.bank.slice_rows(lo, hi)``.  The
+        slice shares moment matrices and step counters with the parent
+        (views), so a step-worker advancing its rows is indistinguishable
+        from the parent advancing them itself.
+        """
+        other = FleetAdam.__new__(FleetAdam)
+        other.bank = bank_slice
+        other.lr = self.lr
+        other.beta1, other.beta2 = self.beta1, self.beta2
+        other.eps = self.eps
+        other.weight_decay = self.weight_decay
+        other.steps = self.steps[lo:hi]
+        other.m = self.m[lo:hi]
+        other.v = self.v[lo:hi]
+        other._scratch = None
+        return other
 
     #: Width of one update block — sized so the live slices of g/m/v/p
     #: plus three scratch rows stay cache-resident, which is what makes

@@ -17,13 +17,31 @@ the same per-job code and return bit-identical results in job order::
 ``scripts/parallel_smoke.py`` gates exactly this determinism claim.
 """
 
-from repro.parallel.pool import ParallelConfig, resolve_jobs, run_specs
+from repro.parallel.autotune import resolve_step_workers
+from repro.parallel.pool import (
+    ParallelConfig,
+    clamp_step_workers,
+    resolve_jobs,
+    run_specs,
+)
+from repro.parallel.stepshard import (
+    ShmArena,
+    StepWorkerPool,
+    fork_available,
+    partition_rows,
+)
 from repro.parallel.worker import execute_spec, run_job
 
 __all__ = [
     "ParallelConfig",
+    "clamp_step_workers",
     "resolve_jobs",
+    "resolve_step_workers",
     "run_specs",
     "execute_spec",
     "run_job",
+    "ShmArena",
+    "StepWorkerPool",
+    "fork_available",
+    "partition_rows",
 ]

@@ -23,14 +23,15 @@ finishes its stale task in the background and then exits).
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from multiprocessing import get_context
 
 from repro.parallel import worker
 
-__all__ = ["ParallelConfig", "resolve_jobs", "run_specs"]
+__all__ = ["ParallelConfig", "clamp_step_workers", "resolve_jobs", "run_specs"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,43 @@ class ParallelConfig:
 def resolve_jobs(jobs: int) -> int:
     """Normalize a --jobs value: non-positive selects all cores."""
     return jobs if jobs > 0 else (os.cpu_count() or 1)
+
+
+def clamp_step_workers(specs: list, n_jobs: int) -> list:
+    """Budget run-level jobs x per-run step workers against host cores.
+
+    Each pooled run forks its own step workers, so ``jobs`` runs at
+    ``step_workers`` each would oversubscribe the host ``jobs x workers``
+    fold.  Specs asking for more than ``cores // n_jobs`` step workers
+    are clamped to that budget (results are bit-identical for every
+    worker count, so clamping is free); one warning and one telemetry
+    counter report how many specs were touched instead of silently
+    thrashing the machine.
+    """
+    from repro.telemetry import hooks
+
+    if n_jobs <= 1:
+        return specs
+    budget = max(1, (os.cpu_count() or 1) // n_jobs)
+    clamped = []
+    touched = 0
+    for spec in specs:
+        asked = int((getattr(spec, "overrides", None) or {}).get("step_workers", 1))
+        if asked > budget:
+            overrides = dict(spec.overrides)
+            overrides["step_workers"] = budget
+            spec = replace(spec, overrides=overrides)
+            touched += 1
+        clamped.append(spec)
+    if touched:
+        warnings.warn(
+            f"step_workers clamped to {budget} on {touched} of {len(specs)} "
+            f"specs: {n_jobs} pooled jobs share {os.cpu_count() or 1} cores",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        hooks.count("stepshard.oversubscription_clamped", touched)
+    return clamped
 
 
 def _new_executor(config: ParallelConfig, n_jobs: int) -> ProcessPoolExecutor:
@@ -91,6 +129,7 @@ def run_specs(specs, jobs: int | ParallelConfig = 1, timeout: float | None = Non
             results.append(result)
             session.registry.merge_state(state)
         return results
+    specs = clamp_step_workers(specs, n_workers)
     n = len(specs)
     results: list = [None] * n
     states: list = [None] * n

@@ -74,7 +74,7 @@ def test_cmd_run_with_stubs(monkeypatch, capsys, tmp_path):
 def test_cmd_rates_with_stubs(monkeypatch, capsys):
     monkeypatch.setattr(
         "repro.experiments.figures.receive_rates",
-        lambda scale, seed, jobs: {"LbChat": 0.77, "DP": 0.47},
+        lambda scale, seed, jobs, step_workers=1: {"LbChat": 0.77, "DP": 0.47},
     )
     assert cli.main(["rates"]) == 0
     output = capsys.readouterr().out
@@ -90,7 +90,8 @@ def test_cmd_fig_with_stubs(monkeypatch, capsys):
         curves={"LbChat": np.linspace(5, 1, 5)},
     )
     monkeypatch.setattr(
-        "repro.experiments.figures.fig2", lambda scale, wireless, seed, jobs: fake
+        "repro.experiments.figures.fig2",
+        lambda scale, wireless, seed, jobs, step_workers=1: fake,
     )
     assert cli.main(["fig", "2b"]) == 0
     assert "Fig. 2(b)" in capsys.readouterr().out
@@ -107,7 +108,7 @@ def test_cmd_table_with_stubs(monkeypatch, capsys):
     )
     seen = {}
 
-    def fake_table3(scale, seed, jobs):
+    def fake_table3(scale, seed, jobs, step_workers=1):
         seen["jobs"] = jobs
         return fake
 
