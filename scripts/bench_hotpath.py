@@ -62,6 +62,15 @@ the artifact behind ``BENCH_stepshard.json``:
     PYTHONPATH=src python scripts/bench_hotpath.py --suite stepshard \
         --out BENCH_stepshard.json
 
+``--suite overlap`` measures overlapped chat transfers (ISSUE 10):
+end-to-end LbChat at paper scale and on the city-smoke world with
+``overlap_chat`` off vs on (best-of-2 wall-clock per flag), plus the
+fleet engine's mean step width and virtual-time training instants per
+contact — the artifact behind ``BENCH_overlap.json``:
+
+    PYTHONPATH=src python scripts/bench_hotpath.py --suite overlap \
+        --out BENCH_overlap.json
+
 ``--suite worldsim`` instead times the world-simulation hot path at
 paper scale (332 agents): ``World.step``, one tick's worth of
 ``road_obstacles`` neighbor queries, ``render_bev``, per-snapshot fleet
@@ -559,6 +568,74 @@ def bench_stepshard() -> dict[str, float]:
     return out
 
 
+def bench_overlap() -> dict[str, float]:
+    """Overlapped chat transfers (ISSUE 10): flag on vs off, end to end.
+
+    Paper-scale and city-scale LbChat runs with ``overlap_chat`` toggled.
+    Wall-clock is best-of-2 per flag (the spread on a loaded host easily
+    exceeds the effect otherwise).  Alongside wall-clock the suite
+    reports the fleet engine's mean step width during ``train_step_all``
+    (full width either way — training was never gated on radio busy
+    state) and virtual-time training instants per contact, from the last
+    repetition of each flag state.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments.configs import PAPER
+    from repro.experiments.runner import RunSpec, build_context, run_method
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from cityscale_smoke import build_scale as cityscale_scale
+
+    out: dict[str, float] = {}
+
+    def measure(prefix: str, context, repeat: int) -> None:
+        for label, overrides in (("off", {}), ("on", {"overlap_chat": True})):
+            spec = RunSpec.for_context(
+                context, "LbChat", wireless=True, seed=3, overrides=overrides
+            )
+            best = float("inf")
+            trainer = None
+            for _ in range(repeat):
+                t0 = time.perf_counter()
+                trainer = run_method(context, spec).trainer
+                best = min(best, time.perf_counter() - t0)
+            out[f"{prefix}_lbchat_{label}_s"] = best
+            chats = max(trainer.counters.get("chats"), 1.0)
+            out[f"{prefix}_{label}_chats"] = trainer.counters.get("chats")
+            out[f"{prefix}_{label}_train_instants_per_contact"] = round(
+                trainer.counters.get("train_steps") / chats, 2
+            )
+            if trainer.fleet is not None:
+                out[f"{prefix}_{label}_mean_step_width"] = round(
+                    trainer.fleet.mean_step_width, 2
+                )
+            out[f"{prefix}_{label}_models_received"] = float(
+                trainer.receive_rate.completed
+            )
+        off_s, on_s = out[f"{prefix}_lbchat_off_s"], out[f"{prefix}_lbchat_on_s"]
+        if on_s > 0:
+            out[f"{prefix}_speedup"] = round(off_s / on_s, 2)
+
+    # Paper scale: 32 vehicles, 1 km map, shortened horizon (same world
+    # as the components suite's end-to-end phase).
+    scale = dc_replace(
+        PAPER,
+        name="overlap-paper-bench",
+        collect_duration=120.0,
+        trace_duration=400.0,
+        train_duration=300.0,
+    )
+    print("building paper world...")
+    measure("paper", build_context(scale), repeat=2)
+
+    # City scale: the cityscale-smoke world (48 vehicles, swept contact
+    # index, sharded stepping, bounded caches).
+    print("building city world...")
+    measure("city", build_context(cityscale_scale()), repeat=2)
+    return out
+
+
 def bench_checkpoint() -> dict[str, float]:
     """Barrier-checkpointing overhead on the hotpath-smoke world."""
     import tempfile
@@ -672,6 +749,26 @@ _SUITE_DESCRIPTIONS = {
         "cores as workers, and on a single-core host the expected "
         "result is a slowdown (pipe round-trips buy no parallelism)."
     ),
+    "overlap": (
+        "Overlapped chat transfers (ISSUE 10): the chat protocol split "
+        "into a synchronous plan phase (handshake, coresets, dense "
+        "batched psi probes, Eq. 7) and a background transfer phase on "
+        "the virtual clock, committed atomically at a barrier. "
+        "run_lbchat_{off,on}_s is the end-to-end LbChat run with "
+        "overlap_chat toggled, best-of-2 per flag (paper scale: 32 "
+        "vehicles, 1 km map, 300 s horizon; city scale: the "
+        "cityscale-smoke world, 48 vehicles). The wall-clock lever is "
+        "the plan phase's DensePsiProber — one ParamBank row per psi "
+        "grid level scored in a single shared-batch forward instead of "
+        "one full forward per level. mean_step_width confirms training "
+        "stays full-width either way (training was never gated on "
+        "radio busy state); train_instants_per_contact is virtual-time "
+        "training instants per chat. Flag-off runs are bit-identical "
+        "to the pre-overlap tree (scripts/overlap_smoke.py gates "
+        "that); flag-on runs trade exactness for overlap — payloads "
+        "are plan-time snapshots absorbed at the commit barrier "
+        "(delayed averaging), so outputs differ from sync runs."
+    ),
     "checkpoint": (
         "Barrier-checkpointing overhead (ISSUE 6) on the hotpath-smoke "
         "world (3 vehicles, 40 s training horizon, barriers every 10 "
@@ -716,7 +813,7 @@ def main() -> int:
         default="components",
         choices=(
             "components", "worldsim", "checkpoint", "fleet", "cityscale",
-            "stepshard",
+            "stepshard", "overlap",
         ),
         help="components: ISSUE 4 data-layer suite; worldsim: ISSUE 5 "
         "paper-scale world-simulation suite (includes paper_context_build); "
@@ -724,7 +821,9 @@ def main() -> int:
         "fleet: ISSUE 7 fleet-batched training suite (see --fleet-mode); "
         "cityscale: ISSUE 8 constant-density contact + sharded-stepping "
         "suite at 32/128/512 vehicles; stepshard: ISSUE 9 within-run "
-        "step-worker scaling + autotune suite",
+        "step-worker scaling + autotune suite; overlap: ISSUE 10 "
+        "overlapped-chat-transfer suite (paper + city LbChat, flag on "
+        "vs off)",
     )
     parser.add_argument(
         "--cityscale-size",
@@ -780,6 +879,8 @@ def main() -> int:
         timings = bench_cityscale()
     elif args.suite == "stepshard":
         timings = bench_stepshard()
+    elif args.suite == "overlap":
+        timings = bench_overlap()
     else:
         timings = bench_components()
         if args.e2e != "none":

@@ -27,7 +27,7 @@ from repro.net.channel import ChannelConfig, simulate_transfer
 from repro.net.wireless import WirelessModel
 from repro.telemetry import hooks as telemetry
 
-__all__ = ["ChatOutcome", "pairwise_chat"]
+__all__ = ["ChatBytesMemo", "ChatOutcome", "estimated_chat_bytes", "pairwise_chat"]
 
 #: Fixed overhead for computing/exchanging evaluation results and maps.
 _RESULTS_EXCHANGE_SECONDS = 0.1
@@ -292,3 +292,49 @@ def estimated_chat_bytes(node_i: VehicleNode, node_j: VehicleNode, psi_total: fl
         + node_j.coreset.nominal_bytes
         + psi_total * node_i.config.nominal_model_bytes
     )
+
+
+class ChatBytesMemo:
+    """Memoized :func:`estimated_chat_bytes` keyed on coreset identity.
+
+    Selection policies estimate the same pairs over and over within a
+    scan tick (every candidate neighbor of every scanning vehicle).  The
+    estimate only changes when a coreset changes, so the memo keys on
+    each node's ``(dataset uid, generation)`` — a coreset refresh swaps
+    the dataset object (fresh uid) and absorption bumps the generation,
+    so stale entries can never be served; they just age out of the
+    bounded table.
+    """
+
+    #: Entries kept before the table is cleared wholesale (keys are
+    #: per-(pair, coreset-identity), so city-scale fleets would otherwise
+    #: grow it without bound).
+    max_entries = 8192
+
+    def __init__(self):
+        self._table: dict[tuple, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def estimate(self, node_i, node_j, psi_total: float = 1.0) -> float:
+        data_i = node_i.coreset.data
+        data_j = node_j.coreset.data
+        key = (
+            node_i.node_id,
+            node_j.node_id,
+            data_i.uid,
+            data_i.generation,
+            data_j.uid,
+            data_j.generation,
+            psi_total,
+        )
+        cached = self._table.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = estimated_chat_bytes(node_i, node_j, psi_total)
+        if len(self._table) >= self.max_entries:
+            self._table.clear()
+        self._table[key] = value
+        return value

@@ -1,0 +1,662 @@
+"""Overlapped chats: plan synchronously, transfer in the background.
+
+The synchronous protocol (:mod:`repro.core.chat`) resolves a whole chat
+— handshake, coreset exchange, psi planning, and both model transfers —
+at the scan instant, and occupies both radios for the summed duration.
+This module splits that into two phases:
+
+**Plan phase** (synchronous, at contact start): assistive info,
+coreset exchange, cross-evaluations, psi-map fitting, and the Eq. 7
+compression decision run exactly as in the synchronous protocol, and
+both directions' compressed payloads are captured immediately.  The psi
+probes are evaluated as one *dense fleet batch* — the ~7 compressed
+variants are stacked into a small :class:`~repro.nn.bank.ParamBank` and
+scored with a single :class:`~repro.nn.bank.FleetWaypointNet` forward
+over the coreset instead of seven sequential per-model forwards
+(:class:`DensePsiProber`); payload compression reuses the psi map's
+:class:`~repro.compression.TopkPlan` ordering, avoiding fresh
+argpartitions.
+
+**Transfer phase** (background): the model byte-transfers become an
+:class:`InFlightTransfer` activity on the virtual clock, advanced one
+channel chunk at a time by a :class:`~repro.net.channel.TransferSession`
+while every vehicle keeps issuing train ticks at full fleet width.  The
+exchanged coresets and models are absorbed atomically at a *commit
+barrier* when the flight resolves (completion, range cut, or deadline).
+
+Staleness model (delayed averaging): payloads are snapshots of the
+sender's parameters *at plan time*; by commit time both vehicles have
+trained further, and Eq. 8 aggregation scores the stale payload against
+the receiver's trained-ahead parameters on the plan-time joint coreset.
+The synchronous protocol additionally lets the second sender compress
+*after* absorbing the first model — overlapped chats drop that coupling
+(both payloads are plan-time snapshots), mirroring how collaborative
+training frameworks apply background-averaged state at a sync point
+rather than freezing the learner.
+
+Flights participate in checkpointing: the scheduler snapshots every
+in-flight transfer (session arithmetic state, payloads, captured
+coresets, the armed wakeup time) and re-arms each one on resume through
+:meth:`TransferScheduler.activities`, so barrier resumes stay
+bit-identical even with transfers in the air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression import CompressedModel, topk_plan
+from repro.core.chat import (
+    _RESULTS_EXCHANGE_SECONDS,
+    _absorb_both,
+    ChatOutcome,
+    equal_compression_decision,
+)
+from repro.core.psi import PsiDecision, PsiLossMap, optimize_compression
+from repro.core.value import assess_value
+from repro.coreset.construction import Coreset
+from repro.coreset.penalty import command_loss_entropy
+from repro.net.channel import TransferSession, simulate_transfer
+from repro.telemetry import hooks as telemetry
+
+__all__ = [
+    "ChatPlan",
+    "DensePsiProber",
+    "InFlightTransfer",
+    "TransferLeg",
+    "TransferScheduler",
+    "plan_chat",
+]
+
+
+class DensePsiProber:
+    """Psi-grid probes of one model, evaluated as a fleet batch.
+
+    One probe bank row per grid level: row ``k`` holds the model
+    compressed to ``psi_grid[k]`` (dense at ``psi >= 1``).  A single
+    shared-batch forward over the coreset then scores every level at
+    once — the same per-layer GEMMs the fleet engine uses for training,
+    instead of one full forward per level.
+    """
+
+    def __init__(self, template, psi_grid):
+        from repro.nn.bank import FleetWaypointNet, ParamBank
+
+        self.psis = [float(p) for p in sorted(psi_grid)]
+        if len(self.psis) < 2:
+            raise ValueError("psi grid needs at least two levels")
+        self.bank = ParamBank(template, len(self.psis))
+        self.net = FleetWaypointNet(self.bank, template)
+
+    def compatible(self, node) -> bool:
+        """Whether ``node``'s model/config fits this probe bank."""
+        if node.config.compressor != "topk":
+            return False
+        if [float(p) for p in sorted(node.config.psi_grid)] != self.psis:
+            return False
+        try:
+            self.bank._check_compatible(node.model)
+        except ValueError:
+            return False
+        return True
+
+    def build(self, node):
+        """``(PsiLossMap, TopkPlan)`` for ``node`` in one batched forward."""
+        from repro.compression.topk import topk_for_psi
+
+        flat = np.asarray(node.flat_params, dtype=np.float32)
+        plan = topk_plan(flat, node.config.nominal_model_bytes)
+        n = flat.size
+        # Fill rows densest-first: each sparser level copies its denser
+        # neighbor and zeroes the next magnitude-order slice, so the
+        # whole grid costs one pass over ``plan.order`` instead of a
+        # compress + dense decompress per level.  Rows are bit-identical
+        # to ``decompress(plan.compress(psi))``.
+        prev_row: np.ndarray | None = None
+        prev_k = n
+        for row in reversed(range(len(self.psis))):
+            dst = self.bank.flat[row]
+            if self.psis[row] >= 1.0:
+                dst[:] = flat
+                prev_row, prev_k = dst, n
+                continue
+            k = topk_for_psi(n, self.psis[row])
+            if prev_row is None:
+                dst[:] = 0.0
+                kept = plan.order[n - k :]
+                dst[kept] = flat[kept]
+            else:
+                dst[:] = prev_row
+                dst[plan.order[n - prev_k : n - k]] = 0.0
+            prev_row, prev_k = dst, k
+        bev, commands, targets, weights = node.coreset.data.arrays()
+        pred = self.net.forward(bev, commands)  # (levels, batch, 2w)
+        per_sample = np.abs(pred - np.asarray(targets)[None]).mean(axis=2)
+        penalty = node.config.penalty
+        weights64 = np.asarray(weights, dtype=float)
+        weights64 = weights64 / weights64.sum()
+        losses = []
+        for row in range(len(self.psis)):
+            row_losses = per_sample[row]
+            if penalty.enabled:
+                value = float(np.asarray(row_losses) @ weights64)
+                if penalty.lambda_l2 > 0:
+                    value += penalty.lambda_l2 * float(
+                        np.linalg.norm(self.bank.flat[row])
+                    )
+                if penalty.lambda_entropy > 0:
+                    value += penalty.lambda_entropy * command_loss_entropy(
+                        row_losses, commands
+                    )
+            else:
+                norm = np.asarray(weights, dtype=row_losses.dtype)
+                value = float(row_losses @ (norm / norm.sum()))
+            losses.append(value)
+        return PsiLossMap(np.asarray(self.psis), np.asarray(losses)), plan
+
+
+@dataclass
+class TransferLeg:
+    """One directional model transfer inside a flight."""
+
+    sender: int  # trainer node index
+    receiver: int
+    n_bytes: float
+    payload: CompressedModel | None
+    session: TransferSession | None = None
+
+
+@dataclass
+class InFlightTransfer:
+    """A chat's transfer phase, live on the virtual clock."""
+
+    i: int
+    j: int
+    plan_start: float
+    transfer_start: float
+    contact_deadline: float
+    model_deadline: float
+    mean_aggregation: bool
+    outcome: ChatOutcome
+    legs: list[TransferLeg]
+    joint: object  # DrivingDataset captured at plan time (Eq. 8 eval set)
+    coreset_i: Coreset  # plan-time coreset snapshots, absorbed at commit
+    coreset_j: Coreset
+    leg_idx: int = 0
+    #: Absolute time of the pending wakeup, and the virtual time that
+    #: wakeup was armed (decides same-instant dispatch order on resume).
+    next_fire: float | None = None
+    armed_at: float = 0.0
+
+
+@dataclass
+class ChatPlan:
+    """Result of the synchronous plan phase."""
+
+    outcome: ChatOutcome
+    elapsed: float  # plan-phase seconds (handshake through Eq. 7)
+    flight: InFlightTransfer | None  # None when the chat ended in planning
+
+
+def plan_chat(
+    node_i,
+    node_j,
+    i: int,
+    j: int,
+    distance_fn,
+    start_time: float,
+    contact_deadline: float,
+    wireless,
+    channel,
+    time_budget: float,
+    *,
+    lambda_c: float = 0.02,
+    refresh_coresets: bool = True,
+    equal_compression: bool = False,
+    mean_aggregation: bool = False,
+    coreset_only: bool = False,
+    expected_goodput: float = 1.0,
+    prober: DensePsiProber | None = None,
+) -> ChatPlan:
+    """Run a chat's plan phase; package the transfer phase as a flight.
+
+    Stages 1-4 of the synchronous protocol (assist, coresets,
+    cross-evaluations/results, Eq. 7) run unchanged; chats that end in
+    planning (stage aborts, coreset-only, psi = 0) are finalized here
+    exactly as the synchronous path would.  Otherwise both payloads are
+    compressed from plan-time parameter snapshots and returned as an
+    unlaunched :class:`InFlightTransfer`.
+    """
+    outcome = ChatOutcome(duration=0.0)
+    now = start_time
+    bandwidth = min(node_i.config.bandwidth_bps, node_j.config.bandwidth_bps)
+    planning_bandwidth = bandwidth * max(min(expected_goodput, 1.0), 1e-3)
+
+    def shared_channel(n_bytes: float, deadline: float):
+        return simulate_transfer(n_bytes, distance_fn, wireless, channel, now, deadline)
+
+    def finish_planned() -> ChatPlan:
+        outcome.duration = now - start_time
+        return ChatPlan(outcome, now - start_time, None)
+
+    # 1. assistive info both ways.
+    assist = shared_channel(2 * channel.assist_info_bytes, contact_deadline)
+    now += assist.elapsed
+    telemetry.on_chat_stage("assist", now, assist.completed)
+    if not assist.completed:
+        outcome.aborted = "assist"
+        return finish_planned()
+
+    # 2. coresets (rebuild first so they reflect the current model/data).
+    if refresh_coresets:
+        node_i.maybe_refresh_coreset()
+        node_j.maybe_refresh_coreset()
+    coreset_bytes = node_i.coreset.nominal_bytes + node_j.coreset.nominal_bytes
+    transfer = shared_channel(coreset_bytes, contact_deadline)
+    now += transfer.elapsed
+    telemetry.on_chat_stage("coresets", now, transfer.completed)
+    if not transfer.completed:
+        outcome.aborted = "coresets"
+        return finish_planned()
+    outcome.coresets_exchanged = True
+
+    if coreset_only:
+        _absorb_both(node_i, node_j, outcome)
+        return finish_planned()
+
+    # 3. cross-evaluations and psi maps (compute treated as free, §IV-A).
+    value = assess_value(
+        loss_i_on_ci=node_i.evaluate(node_i.coreset.data),
+        loss_i_on_cj=node_i.evaluate(node_j.coreset.data),
+        loss_j_on_cj=node_j.evaluate(node_j.coreset.data),
+        loss_j_on_ci=node_j.evaluate(node_i.coreset.data),
+    )
+    plan_i = plan_j = None
+    if prober is not None and prober.compatible(node_i) and prober.compatible(node_j):
+        map_i, plan_i = prober.build(node_i)
+        map_j, plan_j = prober.build(node_j)
+    else:
+        map_i = node_i.build_psi_map()
+        map_j = node_j.build_psi_map()
+    results = shared_channel(2 * 256, contact_deadline)  # tiny payloads
+    now += results.elapsed
+    telemetry.on_chat_stage("results", now, results.completed)
+    if not results.completed:
+        outcome.aborted = "results"
+        _absorb_both(node_i, node_j, outcome)
+        return finish_planned()
+    now += _RESULTS_EXCHANGE_SECONDS
+    if now >= contact_deadline:
+        outcome.aborted = "results_overhead"
+        telemetry.on_chat_stage("results_overhead", now, False)
+        _absorb_both(node_i, node_j, outcome)
+        return finish_planned()
+
+    # 4. Eq. 7: optimize both compression ratios jointly.
+    remaining_contact = max(contact_deadline - now, 0.0)
+    if equal_compression:
+        decision = equal_compression_decision(
+            node_i.config.nominal_model_bytes,
+            planning_bandwidth,
+            time_budget,
+            remaining_contact,
+        )
+    else:
+        decision = optimize_compression(
+            map_i,
+            map_j,
+            loss_i_on_cj=value.loss_i_on_cj,
+            loss_j_on_ci=value.loss_j_on_ci,
+            model_size_bytes=node_i.config.nominal_model_bytes,
+            bandwidth_bps=planning_bandwidth,
+            time_budget=time_budget,
+            contact_duration=remaining_contact,
+            lambda_c=lambda_c,
+        )
+    outcome.psi = decision
+
+    # Capture payloads now: overlapped transfers ship plan-time parameter
+    # snapshots (the delayed-averaging staleness model, see module doc).
+    legs: list[TransferLeg] = []
+    if decision.psi_i > 0:
+        compressed_i = (
+            plan_i.compress(decision.psi_i)
+            if plan_i is not None
+            else node_i.compress_model(decision.psi_i)
+        )
+        if compressed_i.nominal_bytes > 0:
+            legs.append(
+                TransferLeg(
+                    sender=i,
+                    receiver=j,
+                    n_bytes=float(compressed_i.nominal_bytes),
+                    payload=compressed_i,
+                )
+            )
+    if decision.psi_j > 0:
+        compressed_j = (
+            plan_j.compress(decision.psi_j)
+            if plan_j is not None
+            else node_j.compress_model(decision.psi_j)
+        )
+        if compressed_j.nominal_bytes > 0:
+            legs.append(
+                TransferLeg(
+                    sender=j,
+                    receiver=i,
+                    n_bytes=float(compressed_j.nominal_bytes),
+                    payload=compressed_j,
+                )
+            )
+    if not legs:
+        # Nothing to ship: the chat resolves at plan end, as the
+        # synchronous protocol would.
+        _absorb_both(node_i, node_j, outcome)
+        return finish_planned()
+
+    joint = node_i.coreset.data.copy()
+    joint.absorb_from(node_j.coreset.data)
+    flight = InFlightTransfer(
+        i=i,
+        j=j,
+        plan_start=start_time,
+        transfer_start=now,
+        contact_deadline=contact_deadline,
+        model_deadline=min(contact_deadline, now + time_budget),
+        mean_aggregation=mean_aggregation,
+        outcome=outcome,
+        legs=legs,
+        joint=joint,
+        coreset_i=node_i.coreset,
+        coreset_j=node_j.coreset,
+    )
+    return ChatPlan(outcome, now - start_time, flight)
+
+
+def _outcome_state(outcome: ChatOutcome) -> dict:
+    psi = None
+    if outcome.psi is not None:
+        psi = {
+            "psi_i": float(outcome.psi.psi_i),
+            "psi_j": float(outcome.psi.psi_j),
+            "objective": float(outcome.psi.objective),
+            "exchange_time": float(outcome.psi.exchange_time),
+        }
+    return {
+        "duration": float(outcome.duration),
+        "coresets_exchanged": bool(outcome.coresets_exchanged),
+        "i_attempted": bool(outcome.i_attempted),
+        "j_attempted": bool(outcome.j_attempted),
+        "i_received_model": bool(outcome.i_received_model),
+        "j_received_model": bool(outcome.j_received_model),
+        "psi": psi,
+        "absorbed_by_i": int(outcome.absorbed_by_i),
+        "absorbed_by_j": int(outcome.absorbed_by_j),
+        "aborted": outcome.aborted,
+    }
+
+
+def _outcome_from_state(state) -> ChatOutcome:
+    psi = state["psi"]
+    decision = PsiDecision(**psi) if psi is not None else None
+    return ChatOutcome(
+        duration=float(state["duration"]),
+        coresets_exchanged=bool(state["coresets_exchanged"]),
+        i_attempted=bool(state["i_attempted"]),
+        j_attempted=bool(state["j_attempted"]),
+        i_received_model=bool(state["i_received_model"]),
+        j_received_model=bool(state["j_received_model"]),
+        psi=decision,
+        absorbed_by_i=int(state["absorbed_by_i"]),
+        absorbed_by_j=int(state["absorbed_by_j"]),
+        aborted=str(state["aborted"]),
+    )
+
+
+def _payload_state(payload: CompressedModel | None):
+    if payload is None:
+        return None
+    return {
+        "indices": payload.indices,
+        "values": payload.values,
+        "n_total": int(payload.n_total),
+        "psi": float(payload.psi),
+        "nominal_bytes": int(payload.nominal_bytes),
+    }
+
+
+def _payload_from_state(state) -> CompressedModel | None:
+    if state is None:
+        return None
+    return CompressedModel(
+        indices=np.asarray(state["indices"], dtype=np.int64),
+        values=np.asarray(state["values"], dtype=np.float32),
+        n_total=int(state["n_total"]),
+        psi=float(state["psi"]),
+        nominal_bytes=int(state["nominal_bytes"]),
+    )
+
+
+class TransferScheduler:
+    """Owns every in-flight transfer of one trainer.
+
+    Each launched flight runs as its own simulator process: wait for the
+    next chunk boundary, advance the :class:`TransferSession` arithmetic,
+    and on resolution commit the exchanged state atomically.  Vehicles
+    stay in the :class:`~repro.core.ledger.TransferLedger`'s in-flight
+    set for the whole window, so they train at full fleet width but
+    accept no other chat.
+    """
+
+    def __init__(self, trainer):
+        self.trainer = trainer
+        self.flights: list[InFlightTransfer] = []
+        self._prober: DensePsiProber | None = None
+        self._prober_failed = False
+
+    # -- planning helpers ----------------------------------------------------
+
+    def prober_for(self, node) -> DensePsiProber | None:
+        """A dense probe evaluator for ``node``, or None to fall back."""
+        if self._prober_failed or node.config.compressor != "topk":
+            return None
+        if self._prober is None or not self._prober.compatible(node):
+            try:
+                self._prober = DensePsiProber(node.model, node.config.psi_grid)
+            except (ValueError, AttributeError, TypeError):
+                self._prober_failed = True
+                return None
+        return self._prober if self._prober.compatible(node) else None
+
+    # -- flight lifecycle ----------------------------------------------------
+
+    def launch(self, flight: InFlightTransfer) -> None:
+        """Register a planned flight and start its background process."""
+        trainer = self.trainer
+        flight.next_fire = flight.transfer_start
+        flight.armed_at = trainer.sim.now
+        trainer.ledger.begin_flight(flight.i)
+        trainer.ledger.begin_flight(flight.j)
+        self.flights.append(flight)
+        trainer.sim.process(self._flight_process(flight))
+
+    def _flight_process(self, flight: InFlightTransfer):
+        sim = self.trainer.sim
+        # The pending wakeup (fresh launches: the transfer start; resumed
+        # flights: whatever boundary was armed before the snapshot).
+        if flight.next_fire is not None and sim.now < flight.next_fire:
+            yield sim.wait_until(flight.next_fire)
+        while True:
+            when = self._advance(flight)
+            if when is None:
+                break
+            flight.next_fire = when
+            flight.armed_at = sim.now
+            if when > sim.now:
+                yield sim.wait_until(when)
+        self._commit(flight)
+
+    def _advance(self, flight: InFlightTransfer) -> float | None:
+        """Zero-time bookkeeping at a wakeup; next wakeup time or None."""
+        trainer = self.trainer
+        sim = trainer.sim
+        distance_fn = trainer.pair_distance_fn(flight.i, flight.j)
+        while flight.leg_idx < len(flight.legs):
+            leg = flight.legs[flight.leg_idx]
+            if leg.session is None:
+                leg.session = TransferSession(
+                    leg.n_bytes, trainer.config.channel, sim.now
+                )
+                if leg.receiver == flight.i:
+                    flight.outcome.i_attempted = True
+                else:
+                    flight.outcome.j_attempted = True
+            session = leg.session
+            if session.resolved:
+                # The resolution instant arrived (or the cut happened at
+                # the current time): close the leg, move on.
+                self._finish_leg(leg)
+                flight.leg_idx += 1
+                continue
+            when = session.step(distance_fn, trainer.wireless, flight.model_deadline)
+            if when is None:
+                # Cut (range/rate/deadline) effective immediately.
+                self._finish_leg(leg)
+                flight.leg_idx += 1
+                continue
+            return when  # chunk boundary, or a future completion instant
+        return None
+
+    def _finish_leg(self, leg: TransferLeg) -> None:
+        telemetry.on_transfer(leg.n_bytes, leg.session.result(), leg.session.start_time)
+
+    def _commit(self, flight: InFlightTransfer) -> None:
+        """The commit barrier: absorb everything the flight delivered."""
+        trainer = self.trainer
+        now = trainer.sim.now
+        outcome = flight.outcome
+        node_i = trainer.nodes[flight.i]
+        node_j = trainer.nodes[flight.j]
+        delivered_all = True
+        for leg in flight.legs:
+            if leg.session is None or not leg.session.completed:
+                delivered_all = False
+                continue
+            trainer.nodes[leg.receiver].receive_and_aggregate(
+                leg.payload, flight.joint, mean_weights=flight.mean_aggregation
+            )
+            if leg.receiver == flight.i:
+                outcome.i_received_model = True
+            else:
+                outcome.j_received_model = True
+        # Coresets arrived during the plan phase; their plan-time
+        # snapshots commit here, whatever happened to the models.
+        outcome.absorbed_by_i = node_i.absorb_coreset(flight.coreset_j)
+        outcome.absorbed_by_j = node_j.absorb_coreset(flight.coreset_i)
+        outcome.duration = now - flight.plan_start
+        trainer.ledger.end_flight(flight.i)
+        trainer.ledger.end_flight(flight.j)
+        self.flights.remove(flight)
+        telemetry.on_overlap_outcome(
+            flight.plan_start, now, outcome, committed=delivered_all
+        )
+        finalize = getattr(trainer, "on_overlap_commit", None)
+        if finalize is not None:
+            finalize(flight)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def activities(self, resume: bool = False) -> list:
+        """``(armed_at, generator)`` pairs re-arming every live flight."""
+        return [(flight.armed_at, self._flight_process(flight)) for flight in self.flights]
+
+    def snapshot(self) -> dict:
+        from repro.checkpoint.state import dataset_state
+
+        flights = []
+        for flight in self.flights:
+            flights.append(
+                {
+                    "i": int(flight.i),
+                    "j": int(flight.j),
+                    "plan_start": float(flight.plan_start),
+                    "transfer_start": float(flight.transfer_start),
+                    "contact_deadline": float(flight.contact_deadline),
+                    "model_deadline": float(flight.model_deadline),
+                    "mean_aggregation": bool(flight.mean_aggregation),
+                    "leg_idx": int(flight.leg_idx),
+                    "next_fire": flight.next_fire,
+                    "armed_at": float(flight.armed_at),
+                    "outcome": _outcome_state(flight.outcome),
+                    "legs": [
+                        {
+                            "sender": int(leg.sender),
+                            "receiver": int(leg.receiver),
+                            "n_bytes": float(leg.n_bytes),
+                            "payload": _payload_state(leg.payload),
+                            "session": (
+                                leg.session.snapshot() if leg.session is not None else None
+                            ),
+                        }
+                        for leg in flight.legs
+                    ],
+                    "joint": dataset_state(flight.joint),
+                    "coreset_i_data": dataset_state(flight.coreset_i.data),
+                    "coreset_i_weights": flight.coreset_i.source_weights.copy(),
+                    "coreset_j_data": dataset_state(flight.coreset_j.data),
+                    "coreset_j_weights": flight.coreset_j.source_weights.copy(),
+                }
+            )
+        return {"flights": flights}
+
+    def restore(self, state) -> None:
+        from repro.checkpoint.state import dataset_from_state
+
+        self.flights = []
+        if not state:
+            return
+        channel = self.trainer.config.channel
+        for fs in state.get("flights", []):
+            legs = []
+            for ls in fs["legs"]:
+                legs.append(
+                    TransferLeg(
+                        sender=int(ls["sender"]),
+                        receiver=int(ls["receiver"]),
+                        n_bytes=float(ls["n_bytes"]),
+                        payload=_payload_from_state(ls["payload"]),
+                        session=(
+                            TransferSession.from_snapshot(ls["session"], channel)
+                            if ls["session"] is not None
+                            else None
+                        ),
+                    )
+                )
+            flight = InFlightTransfer(
+                i=int(fs["i"]),
+                j=int(fs["j"]),
+                plan_start=float(fs["plan_start"]),
+                transfer_start=float(fs["transfer_start"]),
+                contact_deadline=float(fs["contact_deadline"]),
+                model_deadline=float(fs["model_deadline"]),
+                mean_aggregation=bool(fs["mean_aggregation"]),
+                outcome=_outcome_from_state(fs["outcome"]),
+                legs=legs,
+                joint=dataset_from_state(fs["joint"]),
+                coreset_i=Coreset(
+                    data=dataset_from_state(fs["coreset_i_data"]),
+                    source_weights=np.asarray(fs["coreset_i_weights"], dtype=float),
+                ),
+                coreset_j=Coreset(
+                    data=dataset_from_state(fs["coreset_j_data"]),
+                    source_weights=np.asarray(fs["coreset_j_weights"], dtype=float),
+                ),
+                leg_idx=int(fs["leg_idx"]),
+                next_fire=(None if fs["next_fire"] is None else float(fs["next_fire"])),
+                armed_at=float(fs["armed_at"]),
+            )
+            self.flights.append(flight)
+            self.trainer.ledger.begin_flight(flight.i)
+            self.trainer.ledger.begin_flight(flight.j)

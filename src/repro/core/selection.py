@@ -75,15 +75,11 @@ def select_priority(trainer, i: int, candidates: list) -> int | None:
     """
     if not candidates:
         return None
-    from repro.core.chat import estimated_chat_bytes
-
     best, best_score = None, 0.0
     estimates = {}
     for j in candidates:
-        exchange_bytes = estimated_chat_bytes(
-            trainer.nodes[i],
-            trainer.nodes[j],
-            getattr(trainer.config, "anticipated_psi_total", 0.6),
+        exchange_bytes = trainer.estimate_chat_bytes(
+            i, j, getattr(trainer.config, "anticipated_psi_total", 0.6)
         )
         estimate = trainer.contact_estimate(i, j, exchange_bytes)
         estimates[j] = estimate

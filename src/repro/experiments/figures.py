@@ -21,9 +21,14 @@ __all__ = ["FigureResult", "fig2", "fig3", "receive_rates"]
 FIG2_METHODS = ("ProxSkip", "RSU-L", "DFL-DDS", "DP", "LbChat")
 
 
-def _overrides(step_workers: int) -> dict:
-    """Trainer-config overrides for a worker-count choice (1 = none)."""
-    return {"step_workers": int(step_workers)} if step_workers != 1 else {}
+def _overrides(step_workers: int, overlap_chat: bool = False) -> dict:
+    """Trainer-config overrides for the shared perf knobs (defaults = none)."""
+    overrides: dict = {}
+    if step_workers != 1:
+        overrides["step_workers"] = int(step_workers)
+    if overlap_chat:
+        overrides["overlap_chat"] = True
+    return overrides
 
 
 @dataclass
@@ -60,6 +65,7 @@ def _method_curves(
     n_points: int,
     jobs: int,
     step_workers: int = 1,
+    overlap_chat: bool = False,
 ) -> dict[str, np.ndarray]:
     """One loss curve per method, trained serially or across workers."""
     context = build_context(scale)
@@ -67,7 +73,7 @@ def _method_curves(
     specs = [
         RunSpec.for_context(
             context, method, wireless=wireless, seed=seed,
-            overrides=_overrides(step_workers),
+            overrides=_overrides(step_workers, overlap_chat),
         )
         for method in methods
     ]
@@ -85,12 +91,14 @@ def fig2(
     n_points: int = 21,
     jobs: int = 1,
     step_workers: int = 1,
+    overlap_chat: bool = False,
 ) -> FigureResult:
     """Fig. 2(a) (wireless=False) / Fig. 2(b) (wireless=True)."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
     grid = np.linspace(0.0, scale.train_duration, n_points)
     curves = _method_curves(
-        FIG2_METHODS, scale, wireless, seed, n_points, jobs, step_workers
+        FIG2_METHODS, scale, wireless, seed, n_points, jobs, step_workers,
+        overlap_chat,
     )
     label = "w" if wireless else "w/o"
     return FigureResult(
@@ -107,12 +115,14 @@ def fig3(
     n_points: int = 21,
     jobs: int = 1,
     step_workers: int = 1,
+    overlap_chat: bool = False,
 ) -> FigureResult:
     """Fig. 3: LbChat vs SCO convergence speed."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
     grid = np.linspace(0.0, scale.train_duration, n_points)
     curves = _method_curves(
-        ("LbChat", "SCO"), scale, wireless, seed, n_points, jobs, step_workers
+        ("LbChat", "SCO"), scale, wireless, seed, n_points, jobs, step_workers,
+        overlap_chat,
     )
     return FigureResult(
         title="Fig. 3: training loss vs. time (LbChat & SCO)", grid=grid, curves=curves
@@ -121,7 +131,7 @@ def fig3(
 
 def receive_rates(
     scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
-    step_workers: int = 1,
+    step_workers: int = 1, overlap_chat: bool = False,
 ) -> dict[str, float]:
     """§IV-C: successful model receiving rate per method, under loss."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
@@ -130,7 +140,7 @@ def receive_rates(
     specs = [
         RunSpec.for_context(
             context, method, wireless=True, seed=seed,
-            overrides=_overrides(step_workers),
+            overrides=_overrides(step_workers, overlap_chat),
         )
         for method in FIG2_METHODS
     ]

@@ -36,9 +36,14 @@ CONDITIONS = [cond.value for cond in DrivingCondition]
 MAIN_METHODS = ("ProxSkip", "RSU-L", "DFL-DDS", "DP", "LbChat")
 
 
-def _overrides(step_workers: int) -> dict:
-    """Trainer-config overrides for a worker-count choice (1 = none)."""
-    return {"step_workers": int(step_workers)} if step_workers != 1 else {}
+def _overrides(step_workers: int, overlap_chat: bool = False) -> dict:
+    """Trainer-config overrides for the shared perf knobs (defaults = none)."""
+    overrides: dict = {}
+    if step_workers != 1:
+        overrides["step_workers"] = int(step_workers)
+    if overlap_chat:
+        overrides["overlap_chat"] = True
+    return overrides
 
 
 @dataclass
@@ -92,6 +97,7 @@ def success_table(
     coreset_sizes: dict[str, int] | None = None,
     jobs: int = 1,
     step_workers: int = 1,
+    overlap_chat: bool = False,
 ) -> TableResult:
     """Train ``methods`` and online-evaluate each into one table.
 
@@ -110,7 +116,8 @@ def success_table(
         specs.append(
             RunSpec.for_context(
                 context, method, wireless=wireless, seed=seed,
-                coreset_size=coreset_size, overrides=_overrides(step_workers),
+                coreset_size=coreset_size,
+                overrides=_overrides(step_workers, overlap_chat),
             )
         )
     return _assemble(title, list(methods), specs, context, seed, jobs)
@@ -118,7 +125,7 @@ def success_table(
 
 def table2(
     scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
-    step_workers: int = 1,
+    step_workers: int = 1, overlap_chat: bool = False,
 ) -> TableResult:
     """Table II: success rate without wireless loss, all five methods."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
@@ -131,12 +138,13 @@ def table2(
         seed=seed,
         jobs=jobs,
         step_workers=step_workers,
+        overlap_chat=overlap_chat,
     )
 
 
 def table3(
     scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
-    step_workers: int = 1,
+    step_workers: int = 1, overlap_chat: bool = False,
 ) -> TableResult:
     """Table III: success rate with wireless loss, all five methods."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
@@ -149,6 +157,7 @@ def table3(
         seed=seed,
         jobs=jobs,
         step_workers=step_workers,
+        overlap_chat=overlap_chat,
     )
 
 
@@ -158,6 +167,7 @@ def table4(
     sizes: tuple[int, int] | None = None,
     jobs: int = 1,
     step_workers: int = 1,
+    overlap_chat: bool = False,
 ) -> TableResult:
     """Table IV: LbChat with 10x and 1/10x the default coreset size.
 
@@ -171,7 +181,7 @@ def table4(
     specs = [
         RunSpec.for_context(
             context, "LbChat", wireless=wireless, seed=seed, coreset_size=size,
-            overrides=_overrides(step_workers),
+            overrides=_overrides(step_workers, overlap_chat),
         )
         for size, wireless in ((large, False), (small, False), (large, True), (small, True))
     ]
@@ -187,7 +197,7 @@ def table4(
 
 def _ablation_table(
     title: str, method: str, scale: ExperimentScale | str, seed: int,
-    jobs: int = 1, step_workers: int = 1,
+    jobs: int = 1, step_workers: int = 1, overlap_chat: bool = False,
 ) -> TableResult:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     context = build_context(scale)
@@ -195,7 +205,7 @@ def _ablation_table(
     specs = [
         RunSpec.for_context(
             context, method, wireless=wireless, seed=seed,
-            overrides=_overrides(step_workers),
+            overrides=_overrides(step_workers, overlap_chat),
         )
         for wireless in (False, True)
     ]
@@ -204,7 +214,7 @@ def _ablation_table(
 
 def table5(
     scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
-    step_workers: int = 1,
+    step_workers: int = 1, overlap_chat: bool = False,
 ) -> TableResult:
     """Table V: LbChat with equal compression ratios (Eq. 7 masked)."""
     return _ablation_table(
@@ -214,12 +224,13 @@ def table5(
         seed,
         jobs,
         step_workers,
+        overlap_chat,
     )
 
 
 def table6(
     scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
-    step_workers: int = 1,
+    step_workers: int = 1, overlap_chat: bool = False,
 ) -> TableResult:
     """Table VI: LbChat with plain averaging (Eq. 8 masked)."""
     return _ablation_table(
@@ -229,12 +240,13 @@ def table6(
         seed,
         jobs,
         step_workers,
+        overlap_chat,
     )
 
 
 def table7(
     scale: ExperimentScale | str = "ci", seed: int = 1, jobs: int = 1,
-    step_workers: int = 1,
+    step_workers: int = 1, overlap_chat: bool = False,
 ) -> TableResult:
     """Table VII: sharing coresets only (SCO)."""
     return _ablation_table(
@@ -244,4 +256,5 @@ def table7(
         seed,
         jobs,
         step_workers,
+        overlap_chat,
     )

@@ -74,7 +74,9 @@ def test_cmd_run_with_stubs(monkeypatch, capsys, tmp_path):
 def test_cmd_rates_with_stubs(monkeypatch, capsys):
     monkeypatch.setattr(
         "repro.experiments.figures.receive_rates",
-        lambda scale, seed, jobs, step_workers=1: {"LbChat": 0.77, "DP": 0.47},
+        lambda scale, seed, jobs, step_workers=1, overlap_chat=False: {
+            "LbChat": 0.77, "DP": 0.47,
+        },
     )
     assert cli.main(["rates"]) == 0
     output = capsys.readouterr().out
@@ -91,7 +93,7 @@ def test_cmd_fig_with_stubs(monkeypatch, capsys):
     )
     monkeypatch.setattr(
         "repro.experiments.figures.fig2",
-        lambda scale, wireless, seed, jobs, step_workers=1: fake,
+        lambda scale, wireless, seed, jobs, step_workers=1, overlap_chat=False: fake,
     )
     assert cli.main(["fig", "2b"]) == 0
     assert "Fig. 2(b)" in capsys.readouterr().out
@@ -108,7 +110,7 @@ def test_cmd_table_with_stubs(monkeypatch, capsys):
     )
     seen = {}
 
-    def fake_table3(scale, seed, jobs, step_workers=1):
+    def fake_table3(scale, seed, jobs, step_workers=1, overlap_chat=False):
         seen["jobs"] = jobs
         return fake
 

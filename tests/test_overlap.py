@@ -1,0 +1,370 @@
+"""Overlapped chat transfers (repro.core.overlap) and their satellites.
+
+Covers the :class:`TransferLedger` occupancy semantics, the memoized
+chat-byte estimator, commit-at-barrier behavior of background flights,
+range-cut aborts, checkpoint/resume with a transfer in the air, and
+step-shard bit-identity with overlap on.  A hypothesis property pins the
+flag-off path: with ``overlap_chat`` off, runs through the new
+ledger/memo plumbing are bit-identical to runs that bypass the memo.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint.policy import CheckpointPolicy
+from repro.core.chat import ChatBytesMemo, estimated_chat_bytes
+from repro.core.lbchat import LbChatConfig, LbChatTrainer
+from repro.core.ledger import TransferLedger
+from repro.net.channel import ChannelConfig
+from repro.sim.dataset import DrivingDataset, Frame
+from tests.conftest import make_node
+
+#: Long enough for a second chat round: pairs chat at t ~ 0-8 (psi = 0,
+#: models still agree), then again after the 60 s cooldown with divergent
+#: models — those chats pick psi > 0 and launch background flights.
+DURATION = 120.0
+EVERY = 10.0
+
+
+# -- TransferLedger (satellite: occupancy merge) ------------------------------
+
+
+class TestTransferLedger:
+    def test_occupy_merges_overlapping_windows(self):
+        ledger = TransferLedger(2)
+        assert ledger.occupy(0, now=0.0, duration=5.0) == 5.0
+        # A shorter overlapping occupancy must not shrink the horizon.
+        assert ledger.occupy(0, now=1.0, duration=2.0) == 5.0
+        assert not ledger.is_idle(0, 4.999)
+        assert ledger.is_idle(0, 5.0)
+        # Extending past the horizon merges to the later end.
+        assert ledger.occupy(0, now=4.0, duration=10.0) == 14.0
+        assert ledger.is_idle(1, 0.0)
+
+    def test_in_flight_blocks_idle_without_busy(self):
+        ledger = TransferLedger(2)
+        ledger.begin_flight(0)
+        assert not ledger.is_idle(0, 100.0)
+        assert ledger.is_idle(1, 0.0)
+        ledger.begin_flight(0)
+        ledger.end_flight(0)
+        assert not ledger.is_idle(0, 100.0)  # still one flight out
+        ledger.end_flight(0)
+        assert ledger.is_idle(0, 100.0)
+
+    def test_end_flight_without_begin_raises(self):
+        ledger = TransferLedger(1)
+        with pytest.raises(ValueError):
+            ledger.end_flight(0)
+
+    def test_snapshot_roundtrip(self):
+        ledger = TransferLedger(3)
+        ledger.occupy(1, now=2.0, duration=7.0)
+        ledger.begin_flight(2)
+        state = ledger.snapshot()
+        fresh = TransferLedger(3)
+        fresh.restore(state)
+        assert fresh.busy_until[1] == 9.0
+        assert not fresh.is_idle(2, 50.0)
+
+
+# -- ChatBytesMemo (satellite: memoized estimates) ----------------------------
+
+
+class TestChatBytesMemo:
+    def test_hit_and_value(self, node_pair):
+        node_i, node_j = node_pair
+        memo = ChatBytesMemo()
+        value = memo.estimate(node_i, node_j, 0.6)
+        assert value == estimated_chat_bytes(node_i, node_j, 0.6)
+        assert (memo.hits, memo.misses) == (0, 1)
+        assert memo.estimate(node_i, node_j, 0.6) == value
+        assert memo.hits == 1
+
+    def test_invalidated_by_coreset_change(self, node_pair):
+        node_i, node_j = node_pair
+        memo = ChatBytesMemo()
+        before = memo.estimate(node_i, node_j, 1.0)
+        # Absorption grows the coreset dataset -> generation bump.
+        frame = node_j.dataset.frame(0)
+        node_i.coreset.data.add(
+            Frame("memo-test-frame", frame.bev, frame.command, frame.waypoints)
+        )
+        after = memo.estimate(node_i, node_j, 1.0)
+        assert memo.misses == 2
+        assert after == estimated_chat_bytes(node_i, node_j, 1.0)
+        assert after != before
+
+    def test_refresh_swaps_identity(self, node_pair):
+        node_i, node_j = node_pair
+        memo = ChatBytesMemo()
+        memo.estimate(node_i, node_j, 1.0)
+        node_i.refresh_coreset()  # new dataset object -> new uid
+        memo.estimate(node_i, node_j, 1.0)
+        assert memo.misses == 2
+
+    def test_capacity_clears_wholesale(self, node_pair):
+        node_i, node_j = node_pair
+        memo = ChatBytesMemo()
+        memo.max_entries = 2
+        memo.estimate(node_i, node_j, 0.1)
+        memo.estimate(node_i, node_j, 0.2)
+        memo.estimate(node_i, node_j, 0.3)  # evicts everything first
+        assert len(memo._table) == 1
+
+
+# -- trainer harness ----------------------------------------------------------
+
+
+@pytest.fixture()
+def validation(fleet_datasets):
+    val = DrivingDataset()
+    for dataset in fleet_datasets.values():
+        val.extend([dataset.frame(i) for i in range(0, len(dataset), 8)])
+    return val
+
+
+def build_trainer(fleet_datasets, traces, validation, **overrides):
+    nodes = [
+        make_node(vid, dataset, coreset_size=10, seed=3)
+        for vid, dataset in sorted(fleet_datasets.items())
+    ]
+    kwargs = dict(
+        duration=DURATION,
+        train_interval=2.0,
+        record_interval=20.0,
+        wireless_loss=False,
+        seed=1,
+    )
+    kwargs.update(overrides)
+    config = LbChatConfig(**kwargs)
+    return LbChatTrainer(nodes, traces, validation, config)
+
+
+def digest(trainer) -> tuple:
+    grid = np.linspace(0.0, DURATION, 7)
+    return (
+        tuple(trainer.loss_curve.mean_curve(grid).tolist()),
+        tuple(sorted(trainer.counters.snapshot().items())),
+        tuple(node.flat_params.tobytes() for node in trainer.nodes),
+        tuple(tuple(node.dataset.ids) for node in trainer.nodes),
+        trainer.receive_rate.snapshot()["attempted"],
+        trainer.receive_rate.snapshot()["completed"],
+    )
+
+
+class MemoryCheckpointer:
+    """Barrier snapshots kept in memory (the store-free Checkpointer)."""
+
+    def __init__(self, every: float = EVERY):
+        self.policy = CheckpointPolicy(every=every)
+        self.states: dict[int, dict] = {}
+
+    def schedule(self, trainer) -> None:
+        start = trainer.sim.now
+        for index, when in self.policy.barriers(trainer.config.duration):
+            if when <= start:
+                continue
+            trainer.sim.call_at(
+                when, functools.partial(self._save, trainer, index)
+            )
+
+    def _save(self, trainer, index: int) -> None:
+        self.states[index] = trainer.checkpoint_barrier(index)
+
+
+# -- flag-off bit-identity (satellite: hypothesis property) -------------------
+
+
+class TestFlagOffIdentity:
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(seed=st.sampled_from((1, 2, 3)))
+    def test_memo_and_ledger_are_invisible_when_flag_off(
+        self, fleet_datasets, traces, validation, seed
+    ):
+        """Flag-off runs must not be perturbed by the memo or ledger.
+
+        The reference trainer bypasses the memo entirely (every estimate
+        recomputed); the candidate uses the memoized path.  Digests must
+        match bit-for-bit for every seed.
+        """
+        reference = build_trainer(fleet_datasets, traces, validation, seed=seed)
+        reference.estimate_chat_bytes = (
+            lambda i, j, psi_total: estimated_chat_bytes(
+                reference.nodes[i], reference.nodes[j], psi_total
+            )
+        )
+        candidate = build_trainer(fleet_datasets, traces, validation, seed=seed)
+        assert candidate.overlap is None
+        reference.run()
+        candidate.run()
+        assert candidate._chat_bytes_memo.misses > 0  # the memo path engaged
+        assert digest(candidate) == digest(reference)
+
+
+# -- overlapped flights -------------------------------------------------------
+
+
+class TestOverlapFlights:
+    def test_commit_at_barrier(self, fleet_datasets, traces, validation):
+        """Overlapped chats eventually commit: no flight outlives its
+        window, models/coresets land, and the run still learns."""
+        trainer = build_trainer(
+            fleet_datasets, traces, validation, overlap_chat=True
+        )
+        assert trainer.overlap is not None
+        trainer.run()
+        assert len(trainer.overlap.flights) == 0
+        assert trainer.counters.get("chats") > 0
+        assert trainer.counters.get("coresets_exchanged") > 0
+        assert len(trainer.chat_log.records) == trainer.counters.get("chats")
+        assert np.all(trainer.ledger.in_flight == 0)
+        # Flights actually flew: model receptions only happen on commit.
+        assert trainer.receive_rate.attempted > 0
+        assert trainer.receive_rate.completed > 0
+        grid = np.linspace(0.0, DURATION, 5)
+        curve = trainer.loss_curve.mean_curve(grid)
+        assert curve[-1] < curve[0]
+
+    def test_abort_on_range_cut(self, node_pair):
+        """A flight cut by range still commits its plan-time coresets."""
+        from repro.core.overlap import TransferScheduler, plan_chat
+        from repro.engine.events import Simulator
+        from repro.net.wireless import WirelessModel
+
+        node_i, node_j = node_pair
+        channel = ChannelConfig()
+        wireless = WirelessModel(max_range=500.0, enabled=False)
+
+        cutoff = {"t": np.inf}
+
+        def distance_fn(t: float) -> float:
+            return 10.0 if t < cutoff["t"] else 1e9
+
+        plan = plan_chat(
+            node_i, node_j, 0, 1, distance_fn,
+            start_time=0.0, contact_deadline=300.0,
+            wireless=wireless, channel=channel, time_budget=300.0,
+        )
+        assert plan.flight is not None and len(plan.flight.legs) > 0
+        # Cut the link shortly after the transfer phase begins: the
+        # first chunk delivers, then the pair drops out of range.
+        cutoff["t"] = plan.flight.transfer_start + channel.chunk_seconds + 1e-6
+
+        class StubTrainer:
+            def __init__(self):
+                self.sim = Simulator()
+                self.nodes = [node_i, node_j]
+                self.ledger = TransferLedger(2)
+                self.wireless = wireless
+                self.config = type("C", (), {"channel": channel})()
+                self.commits = []
+
+            def pair_distance_fn(self, i, j):
+                return distance_fn
+
+            def on_overlap_commit(self, flight):
+                self.commits.append(flight)
+
+        trainer = StubTrainer()
+        scheduler = TransferScheduler(trainer)
+        params_before = [node.flat_params.copy() for node in (node_i, node_j)]
+        sizes_before = [len(node.dataset) for node in (node_i, node_j)]
+        scheduler.launch(plan.flight)
+        assert not trainer.ledger.is_idle(0, 1e9)
+        trainer.sim.run(until=1000.0)
+        outcome = plan.flight.outcome
+        assert len(scheduler.flights) == 0
+        assert len(trainer.commits) == 1
+        assert np.all(trainer.ledger.in_flight == 0)
+        # Models were cut, so at least one direction failed...
+        assert not (outcome.i_received_model and outcome.j_received_model)
+        # ...but the plan-phase coresets still committed.
+        assert outcome.absorbed_by_i + outcome.absorbed_by_j > 0
+        assert len(node_i.dataset) > sizes_before[0]
+        assert len(node_j.dataset) > sizes_before[1]
+        # A receiver that got nothing keeps its trained-ahead params.
+        for received, before, node in zip(
+            (outcome.i_received_model, outcome.j_received_model),
+            params_before,
+            (node_i, node_j),
+        ):
+            if not received:
+                assert np.array_equal(node.flat_params, before)
+
+    def test_resume_with_in_flight_transfer(
+        self, fleet_datasets, traces, validation
+    ):
+        """Barrier resume with a transfer in the air is bit-identical."""
+        reference = build_trainer(
+            fleet_datasets, traces, validation, overlap_chat=True
+        )
+        saver = MemoryCheckpointer()
+        reference.run(checkpointer=saver)
+        in_flight = {
+            index: len(state.get("overlap", {}).get("flights", ()))
+            for index, state in saver.states.items()
+        }
+        barriers = [index for index, n in sorted(in_flight.items()) if n > 0]
+        assert barriers, (
+            f"no barrier caught a transfer in flight ({in_flight}); "
+            "slow the channel or adjust the cadence so the test bites"
+        )
+        for barrier in barriers:
+            resumed = build_trainer(
+                fleet_datasets, traces, validation, overlap_chat=True
+            )
+            resumed.restore(saver.states[barrier])
+            resumed.run(checkpointer=MemoryCheckpointer())
+            assert digest(resumed) == digest(reference), f"barrier {barrier}"
+
+    def test_in_flight_checkpoint_refuses_flag_off_trainer(
+        self, fleet_datasets, traces, validation
+    ):
+        reference = build_trainer(
+            fleet_datasets, traces, validation, overlap_chat=True
+        )
+        saver = MemoryCheckpointer()
+        reference.run(checkpointer=saver)
+        state = next(
+            (
+                s
+                for _, s in sorted(saver.states.items())
+                if s.get("overlap", {}).get("flights")
+            ),
+            None,
+        )
+        assert state is not None
+        plain = build_trainer(fleet_datasets, traces, validation)
+        with pytest.raises(ValueError, match="overlap"):
+            plain.restore(state)
+
+    def test_stepshard_bit_identity_under_overlap(
+        self, fleet_datasets, traces, validation
+    ):
+        from repro.parallel.stepshard import fork_available
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        serial = build_trainer(
+            fleet_datasets, traces, validation, overlap_chat=True
+        )
+        sharded = build_trainer(
+            fleet_datasets, traces, validation, overlap_chat=True, step_workers=2
+        )
+        serial.run()
+        sharded.run()
+        assert digest(sharded) == digest(serial)
